@@ -1,0 +1,267 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation (§4) from the benchmark suite.
+//
+// Usage:
+//
+//	benchtab [-exp all|table1|table2|fig5|fig6|movement] [-csv] [-pes N]
+//
+// With -csv the selected experiment is written as CSV to stdout
+// (one experiment at a time); otherwise human-readable tables print.
+// -pes selects the PE count for the movement study (default 32).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtab: ")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig5, fig6, movement, energy, real, compare, scalability, sensitivity, casemix, latency")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of a formatted table (single experiment only)")
+	pes := flag.Int("pes", 32, "PE count for the movement study")
+	outDir := flag.String("out", "", "write every experiment's CSV into this directory and exit")
+	report := flag.String("report", "", "write a full Markdown reproduction report to this file and exit")
+	flag.Parse()
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteReport(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote reproduction report to %s\n", *report)
+		return
+	}
+
+	if *outDir != "" {
+		if err := writeAllCSVs(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote table1.csv, table2.csv, fig5.csv, fig6.csv, energy.csv to %s\n", *outDir)
+		return
+	}
+
+	if *csvOut && *exp == "all" {
+		log.Fatal("-csv requires a single experiment (-exp table1|table2|fig5|fig6)")
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := bench.Table1()
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return bench.CSVTable1(os.Stdout, rows)
+			}
+			fmt.Println("Table 1: total execution time, SPARTA vs Para-CONV (IMP% = Para/SPARTA x100)")
+			fmt.Println(bench.FormatTable1(rows))
+		case "table2":
+			rows, err := bench.Table2()
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return bench.CSVTable2(os.Stdout, rows)
+			}
+			fmt.Println("Table 2: maximum retiming value of Para-CONV")
+			fmt.Println(bench.FormatTable2(rows))
+		case "fig5":
+			rows, err := bench.Fig5()
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return bench.CSVFig5(os.Stdout, rows)
+			}
+			fmt.Println("Figure 5: per-iteration execution time, normalized to SPARTA on 64 PEs")
+			fmt.Println(bench.FormatFig5(rows))
+			fmt.Println(bench.ChartFig5(rows))
+		case "fig6":
+			rows, err := bench.Fig6()
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return bench.CSVFig6(os.Stdout, rows)
+			}
+			fmt.Println("Figure 6: intermediate processing results allocated to on-chip cache")
+			fmt.Println(bench.FormatFig6(rows))
+			fmt.Println(bench.ChartFig6(rows))
+		case "latency":
+			if *csvOut {
+				return fmt.Errorf("latency has no CSV writer; drop -csv")
+			}
+			rows, err := bench.Latency(*pes)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Latency vs throughput (%d PEs)\n", *pes)
+			fmt.Println(bench.FormatLatency(rows))
+		case "casemix":
+			if *csvOut {
+				return fmt.Errorf("casemix has no CSV writer; drop -csv")
+			}
+			rows, err := bench.CaseMix(*pes)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure-4 case distribution at the %d-PE objective schedule\n", *pes)
+			fmt.Println(bench.FormatCaseMix(rows))
+		case "sensitivity":
+			if *csvOut {
+				return fmt.Errorf("sensitivity has no CSV writer; drop -csv")
+			}
+			rows, err := bench.Sensitivity(*pes, 0.25, 5)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Sensitivity study (%d PEs, 5 perturbed replans per benchmark)\n", *pes)
+			fmt.Println(bench.FormatSensitivity(rows, 0.25))
+		case "scalability":
+			if *csvOut {
+				return fmt.Errorf("scalability has no CSV writer; drop -csv")
+			}
+			rows, err := bench.Scalability(*pes, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Scalability sweep (%d PEs, synthetic graphs past the paper's 500+ convolutions)\n", *pes)
+			fmt.Println(bench.FormatScalability(rows, *pes))
+		case "compare":
+			if *csvOut {
+				return fmt.Errorf("compare has no CSV writer; drop -csv")
+			}
+			t1, err := bench.Table1()
+			if err != nil {
+				return err
+			}
+			t2, err := bench.Table2()
+			if err != nil {
+				return err
+			}
+			f5, err := bench.Fig5()
+			if err != nil {
+				return err
+			}
+			f6, err := bench.Fig6()
+			if err != nil {
+				return err
+			}
+			fmt.Println("Paper vs measured, Table 1 (Para/SPARTA execution-time ratio):")
+			fmt.Println(bench.CompareTable1(t1))
+			fmt.Println("Paper vs measured, Table 2 (maximum retiming value):")
+			fmt.Println(bench.CompareTable2(t2))
+			fmt.Println("Qualitative trend agreement:")
+			fmt.Println(bench.FormatTrends(bench.CheckTrends(t1, t2, f5, f6)))
+		case "energy":
+			rows, err := bench.Energy(*pes)
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return bench.CSVEnergy(os.Stdout, rows)
+			}
+			fmt.Printf("Energy study (%d PEs, all architecture presets, %d iterations)\n", *pes, bench.Iterations)
+			fmt.Println(bench.FormatEnergy(rows))
+		case "real":
+			rows, err := bench.Table1Real()
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return fmt.Errorf("real has no CSV writer; drop -csv")
+			}
+			fmt.Println("Table 1 over CNN-derived application graphs (real layer models)")
+			fmt.Println(bench.FormatTable1Real(rows))
+		case "movement":
+			rows, err := bench.Movement(*pes)
+			if err != nil {
+				return err
+			}
+			if *csvOut {
+				return fmt.Errorf("movement has no CSV writer; drop -csv")
+			}
+			fmt.Printf("Data movement study (%d PEs, %d iterations)\n", *pes, bench.Iterations)
+			fmt.Println(bench.FormatMovement(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig5", "fig6", "movement", "energy", "real", "scalability", "sensitivity", "casemix", "latency", "compare"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeAllCSVs regenerates every CSV-capable experiment into dir.
+func writeAllCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+	t1, err := bench.Table1()
+	if err != nil {
+		return err
+	}
+	if err := write("table1.csv", func(f *os.File) error { return bench.CSVTable1(f, t1) }); err != nil {
+		return err
+	}
+	t2, err := bench.Table2()
+	if err != nil {
+		return err
+	}
+	if err := write("table2.csv", func(f *os.File) error { return bench.CSVTable2(f, t2) }); err != nil {
+		return err
+	}
+	f5, err := bench.Fig5()
+	if err != nil {
+		return err
+	}
+	if err := write("fig5.csv", func(f *os.File) error { return bench.CSVFig5(f, f5) }); err != nil {
+		return err
+	}
+	f6, err := bench.Fig6()
+	if err != nil {
+		return err
+	}
+	if err := write("fig6.csv", func(f *os.File) error { return bench.CSVFig6(f, f6) }); err != nil {
+		return err
+	}
+	en, err := bench.Energy(32)
+	if err != nil {
+		return err
+	}
+	return write("energy.csv", func(f *os.File) error { return bench.CSVEnergy(f, en) })
+}

@@ -1,0 +1,55 @@
+// Command graphgen emits synthetic CNN-like task graphs in the text
+// graph format consumed by cmd/paraconv.
+//
+// Usage:
+//
+//	graphgen -v 100 -e 260 [-seed 7] [-layers 0] [-sp depth] [-dot]
+//
+// By default a layered DAG with exactly -v vertices and -e edges is
+// generated; -sp switches to the series-parallel (inception-style)
+// generator with the given recursion depth.  -dot emits Graphviz DOT
+// instead of the text format.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+	v := flag.Int("v", 50, "number of vertices (layered generator)")
+	e := flag.Int("e", 130, "number of edges (layered generator)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	layers := flag.Int("layers", 0, "pipeline levels (0 = derive from size)")
+	spDepth := flag.Int("sp", -1, "series-parallel recursion depth (-1 = use layered generator)")
+	name := flag.String("name", "synthetic", "graph name")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+	flag.Parse()
+
+	var g *dag.Graph
+	var err error
+	if *spDepth >= 0 {
+		g, err = synth.SeriesParallel(synth.SPParams{Name: *name, Depth: *spDepth, Seed: *seed})
+	} else {
+		g, err = synth.Generate(synth.Params{
+			Name: *name, Vertices: *v, Edges: *e, Seed: *seed, Layers: *layers,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		err = dag.WriteDOT(os.Stdout, g)
+	} else {
+		err = dag.WriteText(os.Stdout, g)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

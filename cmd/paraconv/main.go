@@ -1,0 +1,205 @@
+// Command paraconv runs the Para-CONV pipeline on one task graph and
+// prints the resulting plan: kernel schedule, cache allocation,
+// retiming/prologue, and simulated execution statistics, side by side
+// with the SPARTA baseline.
+//
+// Usage:
+//
+//	paraconv [-pes N] [-iters N] [-gantt] [-bench name | -graph file.tg]
+//
+// The graph comes from a named paper benchmark (-bench protein) or a
+// file in the text graph format (-graph), which "-" reads from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dag"
+	"repro/internal/opt"
+	"repro/internal/pim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paraconv: ")
+	pes := flag.Int("pes", 16, "number of processing engines")
+	iters := flag.Int("iters", 100, "iterations to execute")
+	gantt := flag.Bool("gantt", false, "print the kernel Gantt chart")
+	benchName := flag.String("bench", "", "run a named paper benchmark (cat ... protein)")
+	graphFile := flag.String("graph", "", "run a graph from a text-format file ('-' for stdin)")
+	traceOut := flag.String("trace", "", "write the Para-CONV event trace to this file")
+	traceFmt := flag.String("traceformat", "chrome", "trace format: chrome, jsonl, csv")
+	arch := flag.String("arch", "neurocube", "architecture preset: neurocube, prime, hmc2, edge")
+	cluster := flag.Int("cluster", -1, "pre-cluster linear chains bounded by this exec time (-1 = off, 0 = unbounded)")
+	planOut := flag.String("plan", "", "write the Para-CONV plan summary (JSON) to this file")
+	schedOut := flag.String("schedule", "", "write the Para-CONV kernel schedule (CSV) to this file")
+	flag.Parse()
+
+	g, err := loadGraph(*benchName, *graphFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cluster >= 0 {
+		res, err := opt.ClusterLinearChains(g, *cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("clustered %d linear-chain IPRs away (%d -> %d vertices)\n\n",
+			res.Merged, g.NumNodes(), res.Graph.NumNodes())
+		g = res.Graph
+	}
+	cfg, err := configFor(*arch, *pes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("graph %s on %s (%d KB PE-array cache)\n\n", st, cfg.Name, cfg.TotalCacheBytes()/1024)
+
+	plan, err := sched.ParaCONV(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sched.SPARTA(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("para-conv:", plan.Summary(*iters))
+	fmt.Println("           " + plan.CacheSummary())
+	fmt.Println("sparta:   ", base.Summary(*iters))
+	ratio := float64(plan.TotalTime(*iters)) / float64(base.TotalTime(*iters))
+	fmt.Printf("\nPara-CONV runs in %.1f%% of SPARTA's time (%.2fx speedup)\n", 100*ratio, 1/ratio)
+
+	for _, p := range []*sched.Plan{plan, base} {
+		stats, err := sim.Run(p, cfg, *iters)
+		if err != nil {
+			log.Fatalf("simulating %s: %v", p.Scheme, err)
+		}
+		fmt.Printf("\n%s simulation: %d cycles, utilization %.1f%%, off-chip fetch ratio %.2f, %.1f nJ moved\n",
+			p.Scheme, stats.Cycles, 100*stats.Utilization(), stats.OffChipFetchRatio(), stats.EnergyPJ/1000)
+	}
+
+	if *gantt {
+		fmt.Println()
+		if err := sched.WriteGantt(os.Stdout, &plan.Iter); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceFmt, plan, cfg, *iters); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s trace to %s\n", *traceFmt, *traceOut)
+	}
+	if *planOut != "" {
+		if err := writeFile(*planOut, func(f *os.File) error { return sched.WritePlanJSON(f, plan) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote plan JSON to %s\n", *planOut)
+	}
+	if *schedOut != "" {
+		if err := writeFile(*schedOut, func(f *os.File) error { return sched.WriteScheduleCSV(f, &plan.Iter) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote schedule CSV to %s\n", *schedOut)
+	}
+}
+
+// configFor resolves an architecture preset by name.
+func configFor(arch string, pes int) (pim.Config, error) {
+	switch arch {
+	case "neurocube":
+		return pim.Neurocube(pes), nil
+	case "prime":
+		return pim.PRIME(pes), nil
+	case "hmc2":
+		return pim.HMCGen2(pes), nil
+	case "edge":
+		return pim.EdgeDevice(pes), nil
+	default:
+		return pim.Config{}, fmt.Errorf("unknown architecture %q (want neurocube, prime, hmc2 or edge)", arch)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// writeTrace re-runs the plan through the event-driven simulator and
+// writes the event log in the requested format.
+func writeTrace(path, format string, plan *sched.Plan, cfg pim.Config, iters int) error {
+	// Cap the traced horizon: the steady state repeats exactly, so a
+	// short run is representative and keeps files small.
+	horizon := iters
+	if horizon > 20 {
+		horizon = 20
+	}
+	_, tr, err := sim.TraceRun(plan, cfg, horizon)
+	if err != nil {
+		return fmt.Errorf("tracing: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "chrome":
+		err = trace.WriteChrome(f, tr, plan.Iter.Graph)
+	case "jsonl":
+		err = trace.WriteJSONL(f, tr)
+	case "csv":
+		err = trace.WriteCSV(f, tr)
+	default:
+		err = fmt.Errorf("unknown trace format %q (want chrome, jsonl or csv)", format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func loadGraph(benchName, graphFile string) (*dag.Graph, error) {
+	switch {
+	case benchName != "" && graphFile != "":
+		return nil, fmt.Errorf("use either -bench or -graph, not both")
+	case benchName != "":
+		b, err := bench.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return b.Graph()
+	case graphFile == "-":
+		return dag.ReadText(os.Stdin)
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dag.ReadText(f)
+	default:
+		// Default demo: the paper's motivational benchmark size.
+		b, err := bench.ByName("flower")
+		if err != nil {
+			return nil, err
+		}
+		return b.Graph()
+	}
+}

@@ -1,0 +1,67 @@
+// Architectures: the paper's future-work study (§5) — apply Para-CONV
+// "adaptively ... to different system architectures".  Each of the
+// paper's application classes (built as a real layer model, see
+// AppNetwork) is planned on four PIM presets; the adaptive selector
+// picks the fastest, and the energy ledger shows why the ranking
+// differs per application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paraconv "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	const pes = 32
+	const iterations = 1000
+
+	fmt.Printf("Adaptive architecture selection, %d PEs, %d iterations\n\n", pes, iterations)
+	fmt.Printf("%-16s %-14s %10s %12s %14s\n", "application", "best arch", "total", "runner-up", "energy (nJ)")
+
+	for _, name := range paraconv.AppNetworkNames() {
+		net, err := paraconv.AppNetwork(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := paraconv.NetworkGraph(net, paraconv.Neurocube(pes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, ranked, err := paraconv.SelectArch(g, paraconv.ArchPresets(pes), iterations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := paraconv.Simulate(best.Plan, best.Config, iterations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runnerUp := "-"
+		if len(ranked) > 1 {
+			runnerUp = fmt.Sprintf("%s (%d)", ranked[1].Config.Name, ranked[1].TotalTime)
+		}
+		fmt.Printf("%-16s %-14s %10d %12s %14.1f\n",
+			name, best.Config.Name, best.TotalTime, runnerUp, stats.EnergyPJ/1000)
+	}
+
+	fmt.Println("\nPer-architecture detail for one application (speech-2):")
+	net, err := paraconv.AppNetwork("speech-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := paraconv.NetworkGraph(net, paraconv.Neurocube(pes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, ranked, err := paraconv.SelectArch(g, paraconv.ArchPresets(pes), iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %8s %7s %9s %10s\n", "arch", "period", "R_max", "prologue", "total")
+	for _, c := range ranked {
+		fmt.Printf("%-14s %8d %7d %9d %10d\n",
+			c.Config.Name, c.Plan.Iter.Period, c.Plan.RMax, c.Plan.PrologueTime(), c.TotalTime)
+	}
+}

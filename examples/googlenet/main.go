@@ -1,0 +1,61 @@
+// GoogLeNet: derive a task graph from the real GoogLeNet layer model
+// (the paper's named benchmark source, Szegedy et al. [16]) and run it
+// through the full Para-CONV pipeline on the 16/32/64-PE sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paraconv "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := paraconv.GoogLeNet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GoogLeNet: %d layers, %d compute operations, %.2f GMACs/inference, %.1fM weights\n",
+		len(net.Layers()), net.NumCompute(),
+		float64(net.TotalMACs())/1e9, float64(net.TotalWeights())/1e6)
+
+	cfg := paraconv.Neurocube(16)
+	g, err := paraconv.NetworkGraph(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lowered task graph:", g.ComputeStats())
+	fmt.Println()
+
+	const iterations = 1000 // inference requests
+	fmt.Printf("%-10s %12s %12s %9s %7s %9s\n",
+		"PEs", "SPARTA", "Para-CONV", "speedup", "R_max", "cached")
+	for _, pes := range []int{16, 32, 64} {
+		cfg := paraconv.Neurocube(pes)
+		base, err := paraconv.Baseline(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := paraconv.Plan(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bt, pt := base.TotalTime(iterations), plan.TotalTime(iterations)
+		fmt.Printf("%-10d %12d %12d %8.2fx %7d %9d\n",
+			pes, bt, pt, float64(bt)/float64(pt), plan.RMax, plan.CachedIPRs)
+	}
+
+	fmt.Println()
+	plan, err := paraconv.Plan(g, paraconv.Neurocube(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := paraconv.Simulate(plan, paraconv.Neurocube(64), iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("64-PE simulation: %d inferences in %d time units, utilization %.1f%%, off-chip fetch ratio %.2f\n",
+		stats.Iterations, stats.Cycles, 100*stats.Utilization(), stats.OffChipFetchRatio())
+}

@@ -1,0 +1,80 @@
+// Motivational: the paper's running example (Figures 2(b) and 3).
+//
+// A five-operation CNN fragment runs on a four-PE PIM array whose data
+// caches hold one intermediate processing result each.  Scheduled
+// naively (SPARTA-style, every dependency honoured inside one
+// iteration, spilled IPRs fetched from eDRAM), intermediate results
+// delay the downstream convolutions.  Para-CONV instead compacts all
+// five operations into a three-time-unit kernel, retimes the
+// dependencies across iterations, and uses the dynamic program to
+// decide which IPRs deserve the four cache slots.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	paraconv "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Figure 2(b): T1 -> {T2, T3}, {T2, T3} -> {T4, T5}.  Every
+	// operation takes one time unit; an IPR costs nothing extra from
+	// cache and one time unit from eDRAM.
+	g := paraconv.NewGraph("fig2b")
+	ids := make([]paraconv.NodeID, 5)
+	for i := range ids {
+		ids[i] = g.AddNode(paraconv.Node{
+			Name: fmt.Sprintf("T%d", i+1),
+			Kind: paraconv.OpConv,
+			Exec: 1,
+		})
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}} {
+		g.AddEdge(paraconv.Edge{
+			From: ids[pair[0]], To: ids[pair[1]],
+			Size: 1, CacheTime: 0, EDRAMTime: 1,
+		})
+	}
+
+	// The paper's illustration: four PEs, one IPR slot per PE.
+	cfg := paraconv.Neurocube(4)
+	cfg.CacheUnitsPerPE = 1
+	cfg.CacheBytesPerUnit = 4096
+
+	baseline, err := paraconv.Baseline(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Baseline (dependencies inside one iteration, greedy cache):")
+	fmt.Println(" ", baseline.Summary(100))
+	fmt.Printf("  intermediate results delay T4/T5: iteration takes %d time units\n\n", baseline.Iter.Period)
+
+	plan, err := paraconv.PlanSingleKernel(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Para-CONV (joint reallocation of convolutions and IPRs):")
+	fmt.Println(" ", plan.Summary(100))
+	fmt.Printf("  compacted kernel: %d time units per iteration, prologue of %d iterations (R_max x p = %d time units)\n\n",
+		plan.Iter.Period, plan.RMax, plan.PrologueTime())
+
+	if err := paraconv.WriteGantt(os.Stdout, &plan.Iter); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Printf("Cache allocation (capacity %d IPR slots):\n", cfg.TotalCacheUnits())
+	for i := range g.Edges() {
+		e := g.Edge(paraconv.EdgeID(i))
+		where := plan.Iter.Assignment[i]
+		fmt.Printf("  I(%s,%s) -> %v\n",
+			g.Node(e.From).Name, g.Node(e.To).Name, where)
+	}
+
+	speedup := float64(baseline.TotalTime(100)) / float64(plan.TotalTime(100))
+	fmt.Printf("\nPara-CONV completes 100 iterations %.2fx faster than the baseline.\n", speedup)
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small CNN task graph, plan it with Para-CONV on
+// a 16-PE Neurocube, compare against the SPARTA baseline, and simulate
+// both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paraconv "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A synthetic CNN-like task graph: 30 convolutions, 75
+	// intermediate processing results.
+	g, err := paraconv.Synthetic(paraconv.SynthParams{
+		Name:     "quickstart",
+		Vertices: 30,
+		Edges:    75,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.ComputeStats())
+
+	cfg := paraconv.Neurocube(16)
+	fmt.Printf("architecture: %s, %d PEs, %d KB on-chip cache, eDRAM fetch %.0fx cache\n\n",
+		cfg.Name, cfg.NumPEs, cfg.TotalCacheBytes()/1024, cfg.FetchRatio())
+
+	plan, err := paraconv.Plan(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := paraconv.Baseline(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const iterations = 1000
+	fmt.Println("para-conv:", plan.Summary(iterations))
+	fmt.Println("sparta:   ", baseline.Summary(iterations))
+	speedup := float64(baseline.TotalTime(iterations)) / float64(plan.TotalTime(iterations))
+	fmt.Printf("\nPara-CONV speedup over SPARTA: %.2fx\n\n", speedup)
+
+	stats, err := paraconv.Simulate(plan, cfg, iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d iterations: %d cycles, PE utilization %.1f%%, %.1f nJ of data movement\n",
+		stats.Iterations, stats.Cycles, 100*stats.Utilization(), stats.EnergyPJ/1000)
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders grouped horizontal bars in plain text: one block of
+// rows per label, one bar per series value, scaled to width columns.
+func barChart(labels []string, series [][]float64, seriesNames []string, width int, format func(float64) string) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	nameWidth := 0
+	for _, n := range seriesNames {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, label := range labels {
+		for j, name := range seriesNames {
+			v := series[i][j]
+			bars := int(v / max * float64(width))
+			if v > 0 && bars == 0 {
+				bars = 1
+			}
+			prefix := label
+			if j > 0 {
+				prefix = ""
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s%s %s\n",
+				labelWidth, prefix, nameWidth, name,
+				strings.Repeat("█", bars), strings.Repeat(" ", width-bars),
+				format(v))
+		}
+	}
+	return b.String()
+}
+
+// ChartFig5 renders Figure 5 as a grouped bar chart (normalized
+// per-iteration execution time, one bar per PE count).
+func ChartFig5(rows []Fig5Row) string {
+	labels := make([]string, len(rows))
+	series := make([][]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Benchmark.Name
+		series[i] = r.Normalized
+	}
+	names := make([]string, len(PECounts))
+	for i, pes := range PECounts {
+		names[i] = fmt.Sprintf("%d PEs", pes)
+	}
+	return barChart(labels, series, names, 40, func(v float64) string {
+		return fmt.Sprintf("%.3f", v)
+	})
+}
+
+// ChartFig6 renders Figure 6 as a grouped bar chart (cached IPR
+// counts).
+func ChartFig6(rows []Fig6Row) string {
+	labels := make([]string, len(rows))
+	series := make([][]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Benchmark.Name
+		series[i] = make([]float64, len(r.Cached))
+		for j, c := range r.Cached {
+			series[i][j] = float64(c)
+		}
+	}
+	names := make([]string, len(PECounts))
+	for i, pes := range PECounts {
+		names[i] = fmt.Sprintf("%d PEs", pes)
+	}
+	return barChart(labels, series, names, 40, func(v float64) string {
+		return fmt.Sprintf("%.0f", v)
+	})
+}

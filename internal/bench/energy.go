@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/pim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// EnergyRow is one benchmark's data-movement energy on one
+// architecture — the paper's future-work study (§5: "study energy
+// issue for PIM architecture with CNN applications").
+type EnergyRow struct {
+	Benchmark Benchmark
+	Arch      string
+	// ParaPJ and SpartaPJ are total data-movement energies over
+	// Iterations iterations (picojoules); Para-CONV runs the
+	// single-kernel configuration so both schemes devote the full
+	// array cache to one iteration.
+	ParaPJ   float64
+	SpartaPJ float64
+}
+
+// Saving returns the relative energy saving of Para-CONV.
+func (r EnergyRow) Saving() float64 {
+	if r.SpartaPJ == 0 {
+		return 0
+	}
+	return 1 - r.ParaPJ/r.SpartaPJ
+}
+
+// Energy measures data-movement energy for every benchmark on every
+// built-in architecture preset at the given PE count.
+func Energy(pes int) ([]EnergyRow, error) {
+	var rows []EnergyRow
+	for _, cfg := range pim.Presets(pes) {
+		for _, b := range Suite {
+			g, err := b.Graph()
+			if err != nil {
+				return nil, err
+			}
+			pc, err := sched.ParaCONVSingle(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
+			}
+			sp, err := sched.SPARTA(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
+			}
+			pcStats, err := sim.Run(pc, cfg, Iterations)
+			if err != nil {
+				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
+			}
+			spStats, err := sim.Run(sp, cfg, Iterations)
+			if err != nil {
+				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
+			}
+			rows = append(rows, EnergyRow{
+				Benchmark: b,
+				Arch:      cfg.Name,
+				ParaPJ:    pcStats.EnergyPJ,
+				SpartaPJ:  spStats.EnergyPJ,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatEnergy renders the energy study grouped by architecture.
+func FormatEnergy(rows []EnergyRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "arch\tbenchmark\tSPARTA nJ\tPara nJ\tsaving")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f%%\n",
+			r.Arch, r.Benchmark.Name, r.SpartaPJ/1000, r.ParaPJ/1000, 100*r.Saving())
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSVEnergy writes the energy study as CSV.
+func CSVEnergy(w io.Writer, rows []EnergyRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arch", "benchmark", "sparta_pj", "para_pj", "saving"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Arch, r.Benchmark.Name,
+			strconv.FormatFloat(r.SpartaPJ, 'f', 1, 64),
+			strconv.FormatFloat(r.ParaPJ, 'f', 1, 64),
+			strconv.FormatFloat(r.Saving(), 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Table1Row is one benchmark's row of Table 1: total execution time of
+// SPARTA and Para-CONV at each PE count, plus the improvement.
+type Table1Row struct {
+	Benchmark Benchmark
+	// Sparta[i] and ParaCONV[i] are total execution times (time
+	// units for Iterations iterations) at PECounts[i].
+	Sparta   []int
+	ParaCONV []int
+}
+
+// Ratio returns Para-CONV's execution time as a fraction of SPARTA's
+// at PE index i (the paper's IMP column prints this x100).
+func (r Table1Row) Ratio(i int) float64 {
+	return float64(r.ParaCONV[i]) / float64(r.Sparta[i])
+}
+
+// Reduction returns the relative execution-time reduction at PE
+// index i.
+func (r Table1Row) Reduction(i int) float64 { return 1 - r.Ratio(i) }
+
+// Table1 regenerates Table 1: total execution time of SPARTA and
+// Para-CONV on 16, 32 and 64 PEs for every benchmark.
+func Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(Suite))
+	for _, b := range Suite {
+		g, err := b.Graph()
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Benchmark: b}
+		for _, pes := range PECounts {
+			cfg := pim.Neurocube(pes)
+			sp, err := sched.SPARTA(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table1 %s sparta %d PEs: %w", b.Name, pes, err)
+			}
+			pc, err := sched.ParaCONV(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table1 %s para-conv %d PEs: %w", b.Name, pes, err)
+			}
+			row.Sparta = append(row.Sparta, sp.TotalTime(Iterations))
+			row.ParaCONV = append(row.ParaCONV, pc.TotalTime(Iterations))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Row is one benchmark's row of Table 2: the maximum retiming
+// value at each PE count and their average.
+type Table2Row struct {
+	Benchmark Benchmark
+	RMax      []int
+}
+
+// Average returns the mean RMax across the PE sweep.
+func (r Table2Row) Average() float64 {
+	sum := 0
+	for _, v := range r.RMax {
+		sum += v
+	}
+	return float64(sum) / float64(len(r.RMax))
+}
+
+// Table2 regenerates Table 2: the maximum retiming value of Para-CONV
+// on 16, 32 and 64 PEs.  Following §3.3.3, the objective schedule is a
+// property of the application, fixed a-priori (we compact it once, on
+// the smallest array of the sweep); the PE count then enters the
+// optimization through the aggregate cache capacity, so R_max falls as
+// the array grows.
+func Table2() ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, len(Suite))
+	for _, b := range Suite {
+		g, err := b.Graph()
+		if err != nil {
+			return nil, err
+		}
+		base, err := sched.Objective(g, PECounts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s objective: %w", b.Name, err)
+		}
+		row := Table2Row{Benchmark: b}
+		for _, pes := range PECounts {
+			plan, err := sched.ParaCONVGivenSchedule(g, base, pim.Neurocube(pes))
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 %s %d PEs: %w", b.Name, pes, err)
+			}
+			row.RMax = append(row.RMax, plan.RMax)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5Row is one benchmark's series of Figure 5: the steady-state
+// execution time per iteration, normalized to the baseline scheme on
+// 64 PEs.
+type Fig5Row struct {
+	Benchmark Benchmark
+	// Normalized[i] is Para-CONV's per-iteration time at PECounts[i]
+	// divided by SPARTA's per-iteration time on 64 PEs.
+	Normalized []float64
+}
+
+// Fig5 regenerates Figure 5: Para-CONV's per-iteration execution time
+// on 16, 32 and 64 PEs, normalized to SPARTA on 64 PEs.
+func Fig5() ([]Fig5Row, error) {
+	rows := make([]Fig5Row, 0, len(Suite))
+	for _, b := range Suite {
+		g, err := b.Graph()
+		if err != nil {
+			return nil, err
+		}
+		sp64, err := sched.SPARTA(g, pim.Neurocube(PECounts[len(PECounts)-1]))
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig5 %s baseline: %w", b.Name, err)
+		}
+		base := sp64.IterationTime()
+		row := Fig5Row{Benchmark: b}
+		for _, pes := range PECounts {
+			pc, err := sched.ParaCONV(g, pim.Neurocube(pes))
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig5 %s %d PEs: %w", b.Name, pes, err)
+			}
+			row.Normalized = append(row.Normalized, pc.IterationTime()/base)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Row is one benchmark's series of Figure 6: the number of
+// intermediate processing results allocated to on-chip cache.
+type Fig6Row struct {
+	Benchmark Benchmark
+	Cached    []int
+}
+
+// Fig6 regenerates Figure 6: the number of IPRs Para-CONV allocates to
+// on-chip cache on 16, 32 and 64 PEs.  Like Table 2 it evaluates the
+// a-priori objective schedule under the growing array, so the counts
+// rise with capacity and saturate once every IPR that exists fits —
+// the paper's observation that 32 PEs already exhaust most benchmarks'
+// concurrency.
+func Fig6() ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, len(Suite))
+	for _, b := range Suite {
+		g, err := b.Graph()
+		if err != nil {
+			return nil, err
+		}
+		base, err := sched.Objective(g, PECounts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig6 %s objective: %w", b.Name, err)
+		}
+		row := Fig6Row{Benchmark: b}
+		for _, pes := range PECounts {
+			plan, err := sched.ParaCONVGivenSchedule(g, base, pim.Neurocube(pes))
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig6 %s %d PEs: %w", b.Name, pes, err)
+			}
+			row.Cached = append(row.Cached, plan.CachedIPRs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MovementRow reports the simulator's data-movement measurements for
+// one benchmark — the off-chip fetching penalty the paper's
+// motivation (§1) targets.  Both schemes run the full array with one
+// iteration in flight so the cache comparison is apples-to-apples.
+type MovementRow struct {
+	Benchmark      Benchmark
+	PEs            int
+	SpartaEDRAM    int64   // bytes fetched from eDRAM per run
+	ParaEDRAM      int64   // same for Para-CONV (single-kernel)
+	SpartaEnergyPJ float64 // total data-movement energy
+	ParaEnergyPJ   float64
+}
+
+// Movement measures per-benchmark data movement at the given PE count.
+func Movement(pes int) ([]MovementRow, error) {
+	cfg := pim.Neurocube(pes)
+	rows := make([]MovementRow, 0, len(Suite))
+	for _, b := range Suite {
+		g, err := b.Graph()
+		if err != nil {
+			return nil, err
+		}
+		sp, err := sched.SPARTA(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: movement %s sparta: %w", b.Name, err)
+		}
+		pc, err := sched.ParaCONVSingle(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: movement %s para-conv: %w", b.Name, err)
+		}
+		spStats, err := sim.Run(sp, cfg, Iterations)
+		if err != nil {
+			return nil, fmt.Errorf("bench: movement %s sparta sim: %w", b.Name, err)
+		}
+		pcStats, err := sim.Run(pc, cfg, Iterations)
+		if err != nil {
+			return nil, fmt.Errorf("bench: movement %s para-conv sim: %w", b.Name, err)
+		}
+		rows = append(rows, MovementRow{
+			Benchmark:      b,
+			PEs:            pes,
+			SpartaEDRAM:    spStats.EDRAMBytes,
+			ParaEDRAM:      pcStats.EDRAMBytes,
+			SpartaEnergyPJ: spStats.EnergyPJ,
+			ParaEnergyPJ:   pcStats.EnergyPJ,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatTable1 renders Table 1 in the paper's layout: per benchmark,
+// SPARTA and Para-CONV total execution times at each PE count with the
+// IMP column (Para-CONV's time as a percentage of SPARTA's, the
+// quantity the paper's IMP numbers correspond to).
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark\t|V|\t|E|")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\tSPARTA-%d\tPara-%d\tIMP%%", pes, pes)
+	}
+	fmt.Fprintln(w)
+	sums := make([]float64, len(PECounts))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d", r.Benchmark.Name, r.Benchmark.Vertices, r.Benchmark.Edges)
+		for i := range PECounts {
+			fmt.Fprintf(w, "\t%d\t%d\t%.2f", r.Sparta[i], r.ParaCONV[i], 100*r.Ratio(i))
+			sums[i] += r.Ratio(i)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "average\t\t")
+	for i := range PECounts {
+		fmt.Fprintf(w, "\t\t\t%.2f", 100*sums[i]/float64(len(rows)))
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	return b.String()
+}
+
+// FormatTable2 renders Table 2: the maximum retiming value at each PE
+// count and the per-benchmark average.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\t%d-core", pes)
+	}
+	fmt.Fprintln(w, "\taverage")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s", r.Benchmark.Name)
+		for _, v := range r.RMax {
+			fmt.Fprintf(w, "\t%d", v)
+		}
+		fmt.Fprintf(w, "\t%.1f\n", r.Average())
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFig5 renders Figure 5's series as a table: per-iteration
+// execution time normalized to the baseline on 64 PEs.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\t%d PEs", pes)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s", r.Benchmark.Name)
+		for _, v := range r.Normalized {
+			fmt.Fprintf(w, "\t%.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFig6 renders Figure 6's series as a table: IPRs allocated to
+// on-chip cache at each PE count.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\t%d PEs", pes)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s", r.Benchmark.Name)
+		for _, v := range r.Cached {
+			fmt.Fprintf(w, "\t%d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatMovement renders the data-movement study.
+func FormatMovement(rows []MovementRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tPEs\tSPARTA eDRAM B\tPara eDRAM B\teDRAM ratio\tSPARTA pJ\tPara pJ")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.SpartaEDRAM > 0 {
+			ratio = float64(r.ParaEDRAM) / float64(r.SpartaEDRAM)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3f\t%.0f\t%.0f\n",
+			r.Benchmark.Name, r.PEs, r.SpartaEDRAM, r.ParaEDRAM, ratio, r.SpartaEnergyPJ, r.ParaEnergyPJ)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSVTable1 writes Table 1 as CSV.
+func CSVTable1(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "vertices", "edges"}
+	for _, pes := range PECounts {
+		header = append(header,
+			fmt.Sprintf("sparta_%d", pes),
+			fmt.Sprintf("paraconv_%d", pes),
+			fmt.Sprintf("imp_%d", pes))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark.Name, strconv.Itoa(r.Benchmark.Vertices), strconv.Itoa(r.Benchmark.Edges)}
+		for i := range PECounts {
+			rec = append(rec,
+				strconv.Itoa(r.Sparta[i]),
+				strconv.Itoa(r.ParaCONV[i]),
+				strconv.FormatFloat(100*r.Ratio(i), 'f', 2, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVTable2 writes Table 2 as CSV.
+func CSVTable2(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark"}
+	for _, pes := range PECounts {
+		header = append(header, fmt.Sprintf("rmax_%d", pes))
+	}
+	header = append(header, "average")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark.Name}
+		for _, v := range r.RMax {
+			rec = append(rec, strconv.Itoa(v))
+		}
+		rec = append(rec, strconv.FormatFloat(r.Average(), 'f', 1, 64))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVFig5 writes Figure 5's series as CSV.
+func CSVFig5(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark"}
+	for _, pes := range PECounts {
+		header = append(header, fmt.Sprintf("norm_%d", pes))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark.Name}
+		for _, v := range r.Normalized {
+			rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVFig6 writes Figure 6's series as CSV.
+func CSVFig6(w io.Writer, rows []Fig6Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark"}
+	for _, pes := range PECounts {
+		header = append(header, fmt.Sprintf("cached_%d", pes))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark.Name}
+		for _, v := range r.Cached {
+			rec = append(rec, strconv.Itoa(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

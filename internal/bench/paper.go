@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// The paper's published numbers (DAC'17, Tables 1 and 2), kept as data
+// so the harness can print measured results side by side with the
+// original and tests can assert that the *trends* agree even though
+// absolute units differ (the paper's time unit is unpublished).
+
+// PaperTable1 maps benchmark name to the paper's Table 1 row:
+// SPARTA and Para-CONV total execution times at 16/32/64 PEs.
+var PaperTable1 = map[string]struct {
+	Sparta [3]float64
+	Para   [3]float64
+}{
+	"cat":             {Sparta: [3]float64{4.7, 3.3, 1.2}, Para: [3]float64{4.0, 1.5, 0.6}},
+	"car":             {Sparta: [3]float64{15.0, 7.5, 3.8}, Para: [3]float64{5.4, 3.3, 0.6}},
+	"flower":          {Sparta: [3]float64{18.7, 9.4, 4.7}, Para: [3]float64{9.9, 4.5, 3.3}},
+	"character-1":     {Sparta: [3]float64{35.1, 17.6, 8.8}, Para: [3]float64{17.7, 8.7, 3.6}},
+	"character-2":     {Sparta: [3]float64{45.2, 22.6, 11.3}, Para: [3]float64{22.2, 12.3, 6.3}},
+	"image-compress":  {Sparta: [3]float64{56.9, 28.5, 14.2}, Para: [3]float64{27.0, 13.2, 5.1}},
+	"stock-predict":   {Sparta: [3]float64{64.5, 32.3, 16.1}, Para: [3]float64{31.6, 18.0, 7.5}},
+	"string-matching": {Sparta: [3]float64{79.0, 39.5, 19.8}, Para: [3]float64{42.4, 21.4, 12.3}},
+	"shortest-path":   {Sparta: [3]float64{140.3, 70.2, 35.1}, Para: [3]float64{81.6, 43.4, 21.4}},
+	"speech-1":        {Sparta: [3]float64{187.2, 93.6, 46.8}, Para: [3]float64{108.6, 54.0, 29.9}},
+	"speech-2":        {Sparta: [3]float64{274.8, 137.4, 68.7}, Para: [3]float64{164.5, 87.1, 42.1}},
+	"protein":         {Sparta: [3]float64{427.8, 213.9, 107.0}, Para: [3]float64{243.5, 126.6, 63.3}},
+}
+
+// PaperTable2 maps benchmark name to the paper's Table 2 row: the
+// maximum retiming value at 16/32/64 PEs.
+var PaperTable2 = map[string][3]int{
+	"cat":             {3, 3, 1},
+	"car":             {2, 2, 1},
+	"flower":          {3, 2, 2},
+	"character-1":     {6, 3, 2},
+	"character-2":     {7, 5, 3},
+	"image-compress":  {9, 6, 3},
+	"stock-predict":   {11, 9, 3},
+	"string-matching": {14, 8, 5},
+	"shortest-path":   {24, 13, 8},
+	"speech-1":        {34, 17, 9},
+	"speech-2":        {49, 27, 16},
+	"protein":         {69, 29, 15},
+}
+
+// CompareTable1 renders the measured Table 1 next to the paper's, as
+// Para/SPARTA ratios (the unit-free quantity), per PE count.
+func CompareTable1(rows []Table1Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\tpaper@%d\tours@%d", pes, pes)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		p, ok := PaperTable1[r.Benchmark.Name]
+		fmt.Fprintf(w, "%s", r.Benchmark.Name)
+		for i := range PECounts {
+			if ok {
+				fmt.Fprintf(w, "\t%.2f", p.Para[i]/p.Sparta[i])
+			} else {
+				fmt.Fprint(w, "\t-")
+			}
+			fmt.Fprintf(w, "\t%.2f", r.Ratio(i))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CompareTable2 renders measured R_max next to the paper's.
+func CompareTable2(rows []Table2Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, pes := range PECounts {
+		fmt.Fprintf(w, "\tpaper@%d\tours@%d", pes, pes)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		p, ok := PaperTable2[r.Benchmark.Name]
+		fmt.Fprintf(w, "%s", r.Benchmark.Name)
+		for i := range PECounts {
+			if ok {
+				fmt.Fprintf(w, "\t%d", p[i])
+			} else {
+				fmt.Fprint(w, "\t-")
+			}
+			fmt.Fprintf(w, "\t%d", r.RMax[i])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// TrendAgreement summarizes, per experiment, which qualitative trends
+// of the paper the measured data reproduces.  Each check is a named
+// boolean so tests and the CLI can report them.
+type TrendAgreement struct {
+	Name string
+	Held bool
+	Note string
+}
+
+// CheckTrends evaluates the headline qualitative claims against
+// measured data.
+func CheckTrends(t1 []Table1Row, t2 []Table2Row, f5 []Fig5Row, f6 []Fig6Row) []TrendAgreement {
+	var out []TrendAgreement
+	add := func(name string, held bool, note string) {
+		out = append(out, TrendAgreement{Name: name, Held: held, Note: note})
+	}
+
+	// 1. Para-CONV beats SPARTA everywhere (Table 1).
+	wins := true
+	for _, r := range t1 {
+		for i := range PECounts {
+			if r.ParaCONV[i] >= r.Sparta[i] {
+				wins = false
+			}
+		}
+	}
+	add("table1: Para-CONV wins every cell", wins,
+		"paper: 53.42% average reduction across all benchmarks and PE counts")
+
+	// 2. R_max grows with application size (Table 2), matching the
+	// paper's ordering between the smallest and largest benchmark.
+	grow := len(t2) > 1 && t2[len(t2)-1].Average() > t2[0].Average()
+	add("table2: R_max grows with application scale", grow,
+		"paper: averages rise 2.3 (cat) to 37.7 (protein)")
+
+	// 3. R_max non-increasing in PE count (Table 2).
+	nonInc := true
+	for _, r := range t2 {
+		for i := 1; i < len(r.RMax); i++ {
+			if r.RMax[i] > r.RMax[i-1] {
+				nonInc = false
+			}
+		}
+	}
+	add("table2: R_max non-increasing with PEs", nonInc,
+		"paper: every row decreases 16 -> 64")
+
+	// 4. Per-iteration time decreases with PEs (Figure 5).
+	dec := true
+	for _, r := range f5 {
+		for i := 1; i < len(r.Normalized); i++ {
+			if r.Normalized[i] > r.Normalized[i-1]+1e-9 {
+				dec = false
+			}
+		}
+	}
+	add("fig5: per-iteration time falls with PEs", dec,
+		"paper: bars shrink with the PE count for every benchmark")
+
+	// 5. Cached IPRs rise then saturate (Figure 6): monotone
+	// non-decreasing, with at least a quarter of the suite flat from
+	// 32 to 64 PEs (the small benchmarks, whose IPR demand is already
+	// met).
+	mono, flat := true, 0
+	for _, r := range f6 {
+		for i := 1; i < len(r.Cached); i++ {
+			if r.Cached[i] < r.Cached[i-1] {
+				mono = false
+			}
+		}
+		if len(r.Cached) == 3 && r.Cached[2] == r.Cached[1] {
+			flat++
+		}
+	}
+	add("fig6: cached IPRs rise with capacity", mono,
+		"paper: counts rise 16 -> 32 PEs")
+	add("fig6: saturation at 32 PEs for part of the suite", flat*4 >= len(f6),
+		"paper: results for 32 PEs are quite the same as for 64")
+	return out
+}
+
+// FormatTrends renders the agreement checklist.
+func FormatTrends(trends []TrendAgreement) string {
+	var b strings.Builder
+	for _, tr := range trends {
+		mark := "ok  "
+		if !tr.Held {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s — %s\n", mark, tr.Name, tr.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cnn"
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/sched"
+)
+
+// The quantitative reproduction uses synthetic graphs with the paper's
+// exact |V|/|E| (see suite.go).  This file provides the complementary
+// "real-life" mode: the same experiments over task graphs lowered from
+// actual CNN layer models of each application class (internal/cnn's
+// BenchmarkNetwork), which exercises the full front end and shows that
+// the headline result is not an artifact of the generator.
+
+// RealGraph lowers the named application's layer model to a task
+// graph under the Neurocube latency model.
+func RealGraph(name string) (*dag.Graph, error) {
+	net, err := cnn.BenchmarkNetwork(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cnn.ToTaskGraph(net, cnn.LowerOptions{Arch: pim.Neurocube(PECounts[0])})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lowering %q: %w", name, err)
+	}
+	return g, nil
+}
+
+// RealTable1Row mirrors Table1Row for the CNN-derived graphs.
+type RealTable1Row struct {
+	Name     string
+	Vertices int
+	Edges    int
+	Sparta   []int
+	ParaCONV []int
+}
+
+// Ratio returns Para-CONV's time as a fraction of SPARTA's at PE
+// index i.
+func (r RealTable1Row) Ratio(i int) float64 {
+	return float64(r.ParaCONV[i]) / float64(r.Sparta[i])
+}
+
+// Table1Real runs the Table 1 experiment over the CNN-derived
+// application graphs instead of the exact-size synthetic suite.
+func Table1Real() ([]RealTable1Row, error) {
+	var rows []RealTable1Row
+	for _, name := range cnn.BenchmarkNetworkNames() {
+		g, err := RealGraph(name)
+		if err != nil {
+			return nil, err
+		}
+		row := RealTable1Row{Name: name, Vertices: g.NumNodes(), Edges: g.NumEdges()}
+		for _, pes := range PECounts {
+			cfg := pim.Neurocube(pes)
+			sp, err := sched.SPARTA(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: real table1 %s sparta %d PEs: %w", name, pes, err)
+			}
+			pc, err := sched.ParaCONV(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: real table1 %s para-conv %d PEs: %w", name, pes, err)
+			}
+			row.Sparta = append(row.Sparta, sp.TotalTime(Iterations))
+			row.ParaCONV = append(row.ParaCONV, pc.TotalTime(Iterations))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1Real renders the real-application Table 1.
+func FormatTable1Real(rows []RealTable1Row) string {
+	t1 := make([]Table1Row, len(rows))
+	for i, r := range rows {
+		t1[i] = Table1Row{
+			Benchmark: Benchmark{Name: r.Name, Vertices: r.Vertices, Edges: r.Edges},
+			Sparta:    r.Sparta,
+			ParaCONV:  r.ParaCONV,
+		}
+	}
+	return FormatTable1(t1)
+}

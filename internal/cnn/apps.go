@@ -1,0 +1,236 @@
+package cnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's benchmark suite names twelve applications (cat, car,
+// flower, character recognition, image compression, stock prediction,
+// string matching, shortest path, speech, protein analysis) whose task
+// graphs were extracted by running the programs.  The traces are not
+// published; BenchmarkNetwork provides a plausible layer model for
+// each application class so examples and studies can exercise the
+// pipeline on *structurally real* CNN workloads (the quantitative
+// reproduction in internal/bench uses exact-size synthetic graphs —
+// see DESIGN.md for the substitution rationale).
+
+// BenchmarkNetwork builds a layer model for the named paper benchmark.
+func BenchmarkNetwork(name string) (*Network, error) {
+	build, ok := appBuilders[name]
+	if !ok {
+		names := make([]string, 0, len(appBuilders))
+		for n := range appBuilders {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("cnn: unknown benchmark network %q; valid names: %v", name, names)
+	}
+	n, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("cnn: building %q: %w", name, err)
+	}
+	return n, nil
+}
+
+// BenchmarkNetworkNames lists the available application models in
+// stable order.
+func BenchmarkNetworkNames() []string {
+	names := make([]string, 0, len(appBuilders))
+	for n := range appBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var appBuilders = map[string]func() (*Network, error){
+	"cat":             catNet,
+	"car":             carNet,
+	"flower":          flowerNet,
+	"character-1":     func() (*Network, error) { return characterNet("character-1", 1) },
+	"character-2":     func() (*Network, error) { return characterNet("character-2", 2) },
+	"image-compress":  imageCompressNet,
+	"stock-predict":   stockPredictNet,
+	"string-matching": stringMatchNet,
+	"shortest-path":   shortestPathNet,
+	"speech-1":        func() (*Network, error) { return speechNet("speech-1", 4) },
+	"speech-2":        func() (*Network, error) { return speechNet("speech-2", 7) },
+	"protein":         proteinNet,
+}
+
+// catNet: a single-inception-module classifier — the smallest of the
+// image-recognition trio.
+func catNet() (*Network, error) {
+	n := NewNetwork("cat")
+	n.Input("data", Shape{C: 3, H: 64, W: 64})
+	n.Conv("stem", "data", 32, 3, 2, 1)
+	out := n.AddInception("inc1", "stem", InceptionSpec{16, 24, 32, 4, 8, 8})
+	n.Pool("gap", out, AvgPool, 16, 16, 0)
+	n.FC("cls", "gap", 10)
+	return n, n.Finalize()
+}
+
+// carNet: two stacked inception modules.
+func carNet() (*Network, error) {
+	n := NewNetwork("car")
+	n.Input("data", Shape{C: 3, H: 64, W: 64})
+	n.Conv("stem", "data", 32, 3, 2, 1)
+	out := n.AddInception("inc1", "stem", InceptionSpec{16, 24, 32, 4, 8, 8})
+	out = n.AddInception("inc2", out, InceptionSpec{32, 32, 48, 8, 16, 16})
+	n.Pool("gap", out, AvgPool, 16, 16, 0)
+	n.FC("cls", "gap", 20)
+	return n, n.Finalize()
+}
+
+// flowerNet: three inception modules with an interleaved pool — the
+// deepest of the trio.
+func flowerNet() (*Network, error) {
+	n := NewNetwork("flower")
+	n.Input("data", Shape{C: 3, H: 96, W: 96})
+	n.Conv("stem", "data", 32, 5, 2, 2)
+	out := n.AddInception("inc1", "stem", InceptionSpec{16, 24, 32, 4, 8, 8})
+	n.Pool("mid", out, MaxPool, 3, 2, 1)
+	out = n.AddInception("inc2", "mid", InceptionSpec{32, 32, 48, 8, 16, 16})
+	out = n.AddInception("inc3", out, InceptionSpec{48, 48, 64, 12, 24, 24})
+	n.Pool("gap", out, AvgPool, 12, 12, 0)
+	n.FC("cls", "gap", 102)
+	return n, n.Finalize()
+}
+
+// characterNet: LeNet-style handwritten-character recognizers; depth 2
+// doubles the convolutional trunk.
+func characterNet(name string, depth int) (*Network, error) {
+	n := NewNetwork(name)
+	n.Input("data", Shape{C: 1, H: 32, W: 32})
+	prev := "data"
+	width := 6
+	for d := 0; d < depth; d++ {
+		c := fmt.Sprintf("c%d", d+1)
+		s := fmt.Sprintf("s%d", d+1)
+		n.Conv(c, prev, width, 5, 1, 2)
+		n.Pool(s, c, AvgPool, 2, 2, 0)
+		prev = s
+		width *= 3
+	}
+	n.Conv("trunk", prev, 120, 3, 1, 1)
+	n.FC("f1", "trunk", 84)
+	n.FC("out", "f1", 26)
+	return n, n.Finalize()
+}
+
+// imageCompressNet: a convolutional autoencoder — encoder halves the
+// resolution three times into a bottleneck, decoder is modelled as
+// expanding fully-connected stages (the paper's "vast amounts of
+// information" compression workload).
+func imageCompressNet() (*Network, error) {
+	n := NewNetwork("image-compress")
+	n.Input("data", Shape{C: 3, H: 64, W: 64})
+	n.Conv("enc1", "data", 16, 3, 2, 1)
+	n.Conv("enc2", "enc1", 32, 3, 2, 1)
+	n.Conv("enc3", "enc2", 64, 3, 2, 1)
+	n.Conv("bottleneck", "enc3", 8, 1, 1, 0)
+	n.FC("dec1", "bottleneck", 256)
+	n.FC("dec2", "dec1", 1024)
+	n.FC("recon", "dec2", 3*64*64/16)
+	return n, n.Finalize()
+}
+
+// stockPredictNet: a deep multi-layer perceptron over a feature
+// window, the shape of classic financial time-series predictors.
+func stockPredictNet() (*Network, error) {
+	n := NewNetwork("stock-predict")
+	n.Input("window", Shape{C: 1, H: 1, W: 128})
+	prev := "window"
+	for i, width := range []int{256, 256, 128, 64, 32} {
+		name := fmt.Sprintf("fc%d", i+1)
+		n.FC(name, prev, width)
+		prev = name
+	}
+	n.FC("out", prev, 1)
+	return n, n.Finalize()
+}
+
+// stringMatchNet: 1-D convolutions over a character stream (H = 1),
+// the convolutional formulation of approximate string matching.
+func stringMatchNet() (*Network, error) {
+	n := NewNetwork("string-matching")
+	n.Input("stream", Shape{C: 64, H: 1, W: 256})
+	prev := "stream"
+	width := 64
+	for i := 0; i < 4; i++ {
+		conv := fmt.Sprintf("conv%d", i+1)
+		pool := fmt.Sprintf("pool%d", i+1)
+		n.Conv(conv, prev, width, 1, 1, 0)
+		n.Pool(pool, conv, MaxPool, 1, 2, 0)
+		prev = pool
+		width *= 2
+	}
+	n.FC("score", prev, 2)
+	return n, n.Finalize()
+}
+
+// shortestPathNet: iterative relaxation as unrolled 1x1 convolutions
+// over a node-feature map — the neural-algorithm formulation of
+// shortest path.
+func shortestPathNet() (*Network, error) {
+	n := NewNetwork("shortest-path")
+	n.Input("nodes", Shape{C: 32, H: 16, W: 16})
+	prev := "nodes"
+	for i := 0; i < 10; i++ {
+		relax := fmt.Sprintf("relax%d", i+1)
+		n.Conv(relax, prev, 32, 3, 1, 1)
+		prev = relax
+	}
+	n.Conv("readout", prev, 1, 1, 1, 0)
+	return n, n.Finalize()
+}
+
+// speechNet: a TDNN-style recognizer — 1-D convolutions over time
+// followed by a deep fully-connected stack; depth scales the trunk.
+func speechNet(name string, depth int) (*Network, error) {
+	n := NewNetwork(name)
+	n.Input("frames", Shape{C: 40, H: 1, W: 128})
+	prev := "frames"
+	for i := 0; i < depth; i++ {
+		conv := fmt.Sprintf("tdnn%d", i+1)
+		n.Conv(conv, prev, 64+16*i, 1, 1, 0)
+		prev = conv
+	}
+	n.Pool("pool", prev, AvgPool, 1, 2, 0)
+	prev = "pool"
+	for i := 0; i < depth/2+1; i++ {
+		fc := fmt.Sprintf("fc%d", i+1)
+		n.FC(fc, prev, 512)
+		prev = fc
+	}
+	n.FC("phones", prev, 48)
+	return n, n.Finalize()
+}
+
+// proteinNet: a deep residual-style trunk over a contact-map-like
+// input, with concat skip connections every third block — the deepest
+// model, mirroring the largest benchmark.
+func proteinNet() (*Network, error) {
+	n := NewNetwork("protein")
+	n.Input("contacts", Shape{C: 16, H: 32, W: 32})
+	prev := "contacts"
+	skip := prev
+	for i := 0; i < 15; i++ {
+		conv := fmt.Sprintf("res%d", i+1)
+		n.Conv(conv, prev, 32, 3, 1, 1)
+		prev = conv
+		if (i+1)%3 == 0 {
+			cat := fmt.Sprintf("skip%d", i+1)
+			n.Concat(cat, prev, skip)
+			// Re-project to the trunk width.
+			proj := fmt.Sprintf("proj%d", i+1)
+			n.Conv(proj, cat, 32, 1, 1, 0)
+			prev, skip = proj, proj
+		}
+	}
+	n.Pool("gap", prev, AvgPool, 32, 32, 0)
+	n.FC("family", "gap", 128)
+	n.FC("out", "family", 20)
+	return n, n.Finalize()
+}

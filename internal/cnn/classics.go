@@ -1,0 +1,59 @@
+package cnn
+
+import "fmt"
+
+// AlexNet builds the Krizhevsky et al. 2012 network (grouping folded
+// into plain convolutions): five convolutional layers with interleaved
+// max pooling and three fully-connected layers.  Together with
+// GoogLeNet and VGG-16 it anchors the front end against networks whose
+// sizes are public record.
+func AlexNet() (*Network, error) {
+	n := NewNetwork("alexnet")
+	n.Input("data", Shape{C: 3, H: 227, W: 227})
+	n.Conv("conv1", "data", 96, 11, 4, 0)
+	n.Pool("pool1", "conv1", MaxPool, 3, 2, 0)
+	n.Conv("conv2", "pool1", 256, 5, 1, 2)
+	n.Pool("pool2", "conv2", MaxPool, 3, 2, 0)
+	n.Conv("conv3", "pool2", 384, 3, 1, 1)
+	n.Conv("conv4", "conv3", 384, 3, 1, 1)
+	n.Conv("conv5", "conv4", 256, 3, 1, 1)
+	n.Pool("pool5", "conv5", MaxPool, 3, 2, 0)
+	n.FC("fc6", "pool5", 4096)
+	n.FC("fc7", "fc6", 4096)
+	n.FC("fc8", "fc7", 1000)
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("cnn: building AlexNet: %w", err)
+	}
+	return n, nil
+}
+
+// VGG16 builds the Simonyan & Zisserman configuration D: thirteen 3x3
+// convolutions in five blocks with max pooling, then three
+// fully-connected layers.
+func VGG16() (*Network, error) {
+	n := NewNetwork("vgg16")
+	n.Input("data", Shape{C: 3, H: 224, W: 224})
+	prev := "data"
+	block := func(name string, convs, width int) {
+		for i := 1; i <= convs; i++ {
+			layer := fmt.Sprintf("%s_%d", name, i)
+			n.Conv(layer, prev, width, 3, 1, 1)
+			prev = layer
+		}
+		pool := "pool_" + name
+		n.Pool(pool, prev, MaxPool, 2, 2, 0)
+		prev = pool
+	}
+	block("conv1", 2, 64)
+	block("conv2", 2, 128)
+	block("conv3", 3, 256)
+	block("conv4", 3, 512)
+	block("conv5", 3, 512)
+	n.FC("fc6", prev, 4096)
+	n.FC("fc7", "fc6", 4096)
+	n.FC("fc8", "fc7", 1000)
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("cnn: building VGG-16: %w", err)
+	}
+	return n, nil
+}

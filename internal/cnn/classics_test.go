@@ -1,0 +1,80 @@
+package cnn
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+)
+
+func TestAlexNetKnownProperties(t *testing.T) {
+	n, err := AlexNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waypoints := map[string]Shape{
+		"conv1": {96, 55, 55},
+		"pool1": {96, 27, 27},
+		"conv2": {256, 27, 27},
+		"conv5": {256, 13, 13},
+		"pool5": {256, 6, 6},
+		"fc8":   {1000, 1, 1},
+	}
+	for name, want := range waypoints {
+		if got := n.Layer(name).OutShape; got != want {
+			t.Errorf("%s out = %v, want %v", name, got, want)
+		}
+	}
+	// Ungrouped AlexNet: ~62M weights (fc6's 37.7M dominates), ~1.1
+	// GMACs.  Bands allow the grouping simplification.
+	if w := n.TotalWeights(); w < 55_000_000 || w > 70_000_000 {
+		t.Errorf("weights = %d, want ~62M", w)
+	}
+	if m := n.TotalMACs(); m < 900_000_000 || m > 1_500_000_000 {
+		t.Errorf("MACs = %d, want ~1.1G", m)
+	}
+}
+
+func TestVGG16KnownProperties(t *testing.T) {
+	n, err := VGG16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waypoints := map[string]Shape{
+		"conv1_2":    {64, 224, 224},
+		"pool_conv1": {64, 112, 112},
+		"conv3_3":    {256, 56, 56},
+		"pool_conv5": {512, 7, 7},
+		"fc8":        {1000, 1, 1},
+	}
+	for name, want := range waypoints {
+		if got := n.Layer(name).OutShape; got != want {
+			t.Errorf("%s out = %v, want %v", name, got, want)
+		}
+	}
+	// Published: ~138M weights, ~15.5 GMACs.
+	if w := n.TotalWeights(); w < 130_000_000 || w > 145_000_000 {
+		t.Errorf("weights = %d, want ~138M", w)
+	}
+	if m := n.TotalMACs(); m < 14_000_000_000 || m > 17_000_000_000 {
+		t.Errorf("MACs = %d, want ~15.5G", m)
+	}
+}
+
+func TestClassicsLowerAndPlan(t *testing.T) {
+	for _, build := range []func() (*Network, error){AlexNet, VGG16} {
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ToTaskGraph(n, LowerOptions{Arch: pim.Neurocube(16)})
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if g.NumNodes() != n.NumCompute() {
+			t.Errorf("%s: |V| = %d, compute = %d", n.Name(), g.NumNodes(), n.NumCompute())
+		}
+	}
+}

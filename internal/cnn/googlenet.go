@@ -1,0 +1,129 @@
+package cnn
+
+import "fmt"
+
+// InceptionSpec gives the filter counts of one GoogLeNet inception
+// module in the order of Table 1 of Szegedy et al. [16]: the 1x1 path,
+// the 3x3 reduce + 3x3 path, the 5x5 reduce + 5x5 path, and the pooling
+// projection.
+type InceptionSpec struct {
+	P1x1     int // #1x1
+	Reduce3  int // #3x3 reduce
+	P3x3     int // #3x3
+	Reduce5  int // #5x5 reduce
+	P5x5     int // #5x5
+	PoolProj int // pool proj
+}
+
+// OutChannels returns the channel count of the module's concat output.
+func (s InceptionSpec) OutChannels() int { return s.P1x1 + s.P3x3 + s.P5x5 + s.PoolProj }
+
+// AddInception appends a four-branch inception module named prefix,
+// consuming layer in, and returns the name of its concat output.
+func (n *Network) AddInception(prefix, in string, spec InceptionSpec) string {
+	b1 := prefix + "/1x1"
+	n.Conv(b1, in, spec.P1x1, 1, 1, 0)
+
+	r3 := prefix + "/3x3_reduce"
+	b3 := prefix + "/3x3"
+	n.Conv(r3, in, spec.Reduce3, 1, 1, 0)
+	n.Conv(b3, r3, spec.P3x3, 3, 1, 1)
+
+	r5 := prefix + "/5x5_reduce"
+	b5 := prefix + "/5x5"
+	n.Conv(r5, in, spec.Reduce5, 1, 1, 0)
+	n.Conv(b5, r5, spec.P5x5, 5, 1, 2)
+
+	pp := prefix + "/pool"
+	pj := prefix + "/pool_proj"
+	n.Pool(pp, in, MaxPool, 3, 1, 1)
+	n.Conv(pj, pp, spec.PoolProj, 1, 1, 0)
+
+	out := prefix + "/output"
+	n.Concat(out, b1, b3, b5, pj)
+	return out
+}
+
+// googLeNetSpecs are the nine inception modules of GoogLeNet in
+// network order, with the filter counts of [16] Table 1.
+var googLeNetSpecs = []struct {
+	name string
+	spec InceptionSpec
+}{
+	{"inception_3a", InceptionSpec{64, 96, 128, 16, 32, 32}},
+	{"inception_3b", InceptionSpec{128, 128, 192, 32, 96, 64}},
+	{"inception_4a", InceptionSpec{192, 96, 208, 16, 48, 64}},
+	{"inception_4b", InceptionSpec{160, 112, 224, 24, 64, 64}},
+	{"inception_4c", InceptionSpec{128, 128, 256, 24, 64, 64}},
+	{"inception_4d", InceptionSpec{112, 144, 288, 32, 64, 64}},
+	{"inception_4e", InceptionSpec{256, 160, 320, 32, 128, 128}},
+	{"inception_5a", InceptionSpec{256, 160, 320, 32, 128, 128}},
+	{"inception_5b", InceptionSpec{384, 192, 384, 48, 128, 128}},
+}
+
+// GoogLeNet builds the full 22-weight-layer GoogLeNet of Szegedy et
+// al. [16] (the "GoogLeNet ConvNet" benchmark source named in §4.1):
+// stem convolutions, nine inception modules with interleaved max
+// pooling, global average pooling and the final classifier.  Auxiliary
+// classifiers are omitted — they exist only for training.
+func GoogLeNet() (*Network, error) {
+	n := NewNetwork("googlenet")
+	n.Input("data", Shape{C: 3, H: 224, W: 224})
+	n.Conv("conv1/7x7_s2", "data", 64, 7, 2, 3)
+	n.Pool("pool1/3x3_s2", "conv1/7x7_s2", MaxPool, 3, 2, 1)
+	n.Conv("conv2/3x3_reduce", "pool1/3x3_s2", 64, 1, 1, 0)
+	n.Conv("conv2/3x3", "conv2/3x3_reduce", 192, 3, 1, 1)
+	n.Pool("pool2/3x3_s2", "conv2/3x3", MaxPool, 3, 2, 1)
+
+	prev := "pool2/3x3_s2"
+	for i, m := range googLeNetSpecs {
+		prev = n.AddInception(m.name, prev, m.spec)
+		// Max pooling after 3b (index 1) and 4e (index 6).
+		switch i {
+		case 1:
+			n.Pool("pool3/3x3_s2", prev, MaxPool, 3, 2, 1)
+			prev = "pool3/3x3_s2"
+		case 6:
+			n.Pool("pool4/3x3_s2", prev, MaxPool, 3, 2, 1)
+			prev = "pool4/3x3_s2"
+		}
+	}
+	n.Pool("pool5/7x7_s1", prev, AvgPool, 7, 1, 0)
+	n.FC("loss3/classifier", "pool5/7x7_s1", 1000)
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("cnn: building GoogLeNet: %w", err)
+	}
+	return n, nil
+}
+
+// InceptionModule builds a standalone network containing a single
+// inception module over the given input shape — handy for deriving
+// small task graphs like the paper's 9-to-21-vertex benchmarks.
+func InceptionModule(name string, in Shape, spec InceptionSpec) (*Network, error) {
+	n := NewNetwork(name)
+	n.Input("data", in)
+	n.AddInception(name, "data", spec)
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("cnn: building inception module %q: %w", name, err)
+	}
+	return n, nil
+}
+
+// LeNet5 builds the classic LeNet-5 handwritten-character network
+// (conv-pool-conv-pool-fc-fc-fc) — the archetype of the paper's
+// "character" recognition benchmarks.
+func LeNet5() (*Network, error) {
+	n := NewNetwork("lenet5")
+	n.Input("data", Shape{C: 1, H: 32, W: 32})
+	n.Conv("c1", "data", 6, 5, 1, 0)
+	n.Pool("s2", "c1", AvgPool, 2, 2, 0)
+	n.Conv("c3", "s2", 16, 5, 1, 0)
+	n.Pool("s4", "c3", AvgPool, 2, 2, 0)
+	n.Conv("c5", "s4", 120, 5, 1, 0)
+	n.FC("f6", "c5", 84)
+	n.FC("output", "f6", 10)
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("cnn: building LeNet-5: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,152 @@
+// Package cnn models convolutional neural networks at the layer level
+// and lowers them to the task DAGs Para-CONV schedules.
+//
+// The paper's application model (§2.2) treats a CNN as a standard stack
+// of convolutional, pooling and fully-connected layers and derives from
+// it a weighted DAG whose vertices are convolution/pooling operations
+// and whose edges are intermediate processing results (feature maps in
+// flight between layers).  This package provides that front end: a
+// declarative network builder with shape inference, MAC/weight
+// accounting, a faithful GoogLeNet [16] definition (the benchmark
+// source named in §4.1), and the lowering pass ToTaskGraph.
+package cnn
+
+import "fmt"
+
+// Shape is a 3D feature-map shape in channels x height x width order.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the number of elements in the feature map.
+func (s Shape) Elems() int64 { return int64(s.C) * int64(s.H) * int64(s.W) }
+
+// Bytes returns the feature-map size assuming 16-bit fixed-point
+// activations, the representation Neurocube-class accelerators use.
+func (s Shape) Bytes() int64 { return 2 * s.Elems() }
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool { return s.C >= 1 && s.H >= 1 && s.W >= 1 }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// LayerKind enumerates supported layer types.
+type LayerKind uint8
+
+const (
+	// KindInput is the network input (a pseudo layer holding a shape).
+	KindInput LayerKind = iota
+	// KindConv is a 2D convolution (with implicit activation).
+	KindConv
+	// KindPool is max or average pooling.
+	KindPool
+	// KindFC is a fully-connected (inner product) layer; the paper
+	// treats it as a special kind of convolution.
+	KindFC
+	// KindConcat concatenates inputs along the channel axis (the glue
+	// of GoogLeNet inception modules).
+	KindConcat
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConv:
+		return "conv"
+	case KindPool:
+		return "pool"
+	case KindFC:
+		return "fc"
+	case KindConcat:
+		return "concat"
+	default:
+		return fmt.Sprintf("layerkind(%d)", uint8(k))
+	}
+}
+
+// PoolOp selects the pooling operator.
+type PoolOp uint8
+
+const (
+	// MaxPool takes the maximum over the window.
+	MaxPool PoolOp = iota
+	// AvgPool averages over the window.
+	AvgPool
+)
+
+// String implements fmt.Stringer.
+func (p PoolOp) String() string {
+	if p == MaxPool {
+		return "max"
+	}
+	return "avg"
+}
+
+// Layer is one network layer.  Fields are populated according to Kind;
+// the builder methods on Network fill them consistently.
+type Layer struct {
+	Name   string
+	Kind   LayerKind
+	Inputs []string // producer layer names (len>1 only for concat)
+
+	// Conv / Pool geometry.
+	Kernel int // square kernel side
+	Stride int
+	Pad    int
+
+	// Conv / FC output channels (FC: output neurons).
+	OutC int
+
+	// Pool operator.
+	Op PoolOp
+
+	// InShape and OutShape are filled by shape inference.
+	InShape  Shape
+	OutShape Shape
+}
+
+// MACs returns the multiply-accumulate count of the layer: the
+// paper's "30K-600K operations per input pixel" cost lives here.
+// Pooling and concat contribute comparison/copy work which we count as
+// one op per output element.
+func (l *Layer) MACs() int64 {
+	switch l.Kind {
+	case KindConv:
+		perOut := int64(l.Kernel) * int64(l.Kernel) * int64(l.InShape.C)
+		return perOut * l.OutShape.Elems()
+	case KindFC:
+		return l.InShape.Elems() * int64(l.OutC)
+	case KindPool, KindConcat:
+		return l.OutShape.Elems()
+	default:
+		return 0
+	}
+}
+
+// Weights returns the number of filter weights (synapses) the layer
+// stores.
+func (l *Layer) Weights() int64 {
+	switch l.Kind {
+	case KindConv:
+		return int64(l.Kernel)*int64(l.Kernel)*int64(l.InShape.C)*int64(l.OutC) + int64(l.OutC)
+	case KindFC:
+		return l.InShape.Elems()*int64(l.OutC) + int64(l.OutC)
+	default:
+		return 0
+	}
+}
+
+// IsCompute reports whether the layer performs real work on a PE
+// (convolution, pooling or FC) as opposed to being a pseudo layer
+// (input, concat) that lowering folds away.
+func (l *Layer) IsCompute() bool {
+	switch l.Kind {
+	case KindConv, KindPool, KindFC:
+		return true
+	default:
+		return false
+	}
+}

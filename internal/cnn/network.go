@@ -1,0 +1,196 @@
+package cnn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Network is an ordered collection of layers forming a DAG by name
+// references.  Build one with NewNetwork and the fluent add methods,
+// then call Finalize to run shape inference.
+type Network struct {
+	name     string
+	layers   []Layer
+	index    map[string]int
+	inferErr error
+	final    bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(name string) *Network {
+	return &Network{name: name, index: make(map[string]int)}
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+// Layers returns the layers in insertion (topological) order.  Only
+// valid after Finalize.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Layer returns the named layer, or nil if absent.
+func (n *Network) Layer(name string) *Layer {
+	i, ok := n.index[name]
+	if !ok {
+		return nil
+	}
+	return &n.layers[i]
+}
+
+func (n *Network) add(l Layer) *Network {
+	if n.final {
+		n.fail(fmt.Errorf("cnn: add %q after Finalize", l.Name))
+		return n
+	}
+	if l.Name == "" {
+		n.fail(errors.New("cnn: layer with empty name"))
+		return n
+	}
+	if _, dup := n.index[l.Name]; dup {
+		n.fail(fmt.Errorf("cnn: duplicate layer name %q", l.Name))
+		return n
+	}
+	for _, in := range l.Inputs {
+		if _, ok := n.index[in]; !ok {
+			n.fail(fmt.Errorf("cnn: layer %q references undeclared input %q", l.Name, in))
+			return n
+		}
+	}
+	n.index[l.Name] = len(n.layers)
+	n.layers = append(n.layers, l)
+	return n
+}
+
+func (n *Network) fail(err error) {
+	if n.inferErr == nil {
+		n.inferErr = err
+	}
+}
+
+// Input declares the network input with the given shape.
+func (n *Network) Input(name string, s Shape) *Network {
+	if !s.Valid() {
+		n.fail(fmt.Errorf("cnn: input %q has invalid shape %v", name, s))
+		return n
+	}
+	return n.add(Layer{Name: name, Kind: KindInput, OutShape: s, InShape: s})
+}
+
+// Conv adds a square convolution: outC filters of kernel k, stride s,
+// padding p, consuming layer "in".
+func (n *Network) Conv(name, in string, outC, k, s, p int) *Network {
+	return n.add(Layer{Name: name, Kind: KindConv, Inputs: []string{in}, OutC: outC, Kernel: k, Stride: s, Pad: p})
+}
+
+// Pool adds a pooling layer with operator op, window k, stride s,
+// padding p.
+func (n *Network) Pool(name, in string, op PoolOp, k, s, p int) *Network {
+	return n.add(Layer{Name: name, Kind: KindPool, Inputs: []string{in}, Op: op, Kernel: k, Stride: s, Pad: p})
+}
+
+// FC adds a fully-connected layer with outC output neurons.
+func (n *Network) FC(name, in string, outC int) *Network {
+	return n.add(Layer{Name: name, Kind: KindFC, Inputs: []string{in}, OutC: outC})
+}
+
+// Concat adds a channel-axis concatenation of the given inputs.
+func (n *Network) Concat(name string, inputs ...string) *Network {
+	return n.add(Layer{Name: name, Kind: KindConcat, Inputs: append([]string(nil), inputs...)})
+}
+
+// Finalize runs shape inference over the network and freezes it.  Any
+// construction or inference error accumulated so far is returned; the
+// first error wins and later builder calls after an error are no-ops.
+func (n *Network) Finalize() error {
+	if n.inferErr != nil {
+		return n.inferErr
+	}
+	if len(n.layers) == 0 {
+		return errors.New("cnn: empty network")
+	}
+	for i := range n.layers {
+		l := &n.layers[i]
+		if l.Kind == KindInput {
+			continue
+		}
+		if len(l.Inputs) == 0 {
+			return fmt.Errorf("cnn: layer %q has no inputs", l.Name)
+		}
+		in := n.Layer(l.Inputs[0])
+		l.InShape = in.OutShape
+		switch l.Kind {
+		case KindConv:
+			out, err := convOut(l.InShape, l.Kernel, l.Stride, l.Pad, l.OutC)
+			if err != nil {
+				return fmt.Errorf("cnn: layer %q: %w", l.Name, err)
+			}
+			l.OutShape = out
+		case KindPool:
+			out, err := convOut(l.InShape, l.Kernel, l.Stride, l.Pad, l.InShape.C)
+			if err != nil {
+				return fmt.Errorf("cnn: layer %q: %w", l.Name, err)
+			}
+			l.OutShape = out
+		case KindFC:
+			if l.OutC < 1 {
+				return fmt.Errorf("cnn: layer %q: OutC = %d; want >= 1", l.Name, l.OutC)
+			}
+			l.OutShape = Shape{C: l.OutC, H: 1, W: 1}
+		case KindConcat:
+			c := 0
+			for _, name := range l.Inputs {
+				s := n.Layer(name).OutShape
+				if s.H != l.InShape.H || s.W != l.InShape.W {
+					return fmt.Errorf("cnn: layer %q: concat input %q has spatial %dx%d, want %dx%d",
+						l.Name, name, s.H, s.W, l.InShape.H, l.InShape.W)
+				}
+				c += s.C
+			}
+			l.OutShape = Shape{C: c, H: l.InShape.H, W: l.InShape.W}
+		}
+	}
+	n.final = true
+	return nil
+}
+
+func convOut(in Shape, k, stride, pad, outC int) (Shape, error) {
+	if k < 1 || stride < 1 || pad < 0 {
+		return Shape{}, fmt.Errorf("invalid geometry k=%d stride=%d pad=%d", k, stride, pad)
+	}
+	h := (in.H+2*pad-k)/stride + 1
+	w := (in.W+2*pad-k)/stride + 1
+	out := Shape{C: outC, H: h, W: w}
+	if !out.Valid() {
+		return Shape{}, fmt.Errorf("kernel %d stride %d pad %d does not fit input %v", k, stride, pad, in)
+	}
+	return out, nil
+}
+
+// TotalMACs sums MACs over all layers.
+func (n *Network) TotalMACs() int64 {
+	var sum int64
+	for i := range n.layers {
+		sum += n.layers[i].MACs()
+	}
+	return sum
+}
+
+// TotalWeights sums stored weights over all layers.
+func (n *Network) TotalWeights() int64 {
+	var sum int64
+	for i := range n.layers {
+		sum += n.layers[i].Weights()
+	}
+	return sum
+}
+
+// NumCompute returns the number of compute layers (conv/pool/fc).
+func (n *Network) NumCompute() int {
+	c := 0
+	for i := range n.layers {
+		if n.layers[i].IsCompute() {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,181 @@
+package cnn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+)
+
+// LowerOptions controls how a Network is lowered to a task DAG.
+type LowerOptions struct {
+	// Arch supplies the PIM latency model used to derive per-edge
+	// transfer times.  Zero value defaults to pim.Neurocube(16).
+	Arch pim.Config
+
+	// MaxExec is the execution time (in schedule time units) assigned
+	// to the most expensive layer; other layers scale linearly by
+	// MACs, minimum 1.  Default 4.
+	MaxExec int
+
+	// MaxSize is the cache-capacity footprint (dag.Edge.Size) of the
+	// largest intermediate result; other edges scale by bytes,
+	// minimum 1.  Default 2, matching the paper's abstraction where a
+	// PE cache holds roughly one IPR.
+	MaxSize int
+}
+
+func (o LowerOptions) withDefaults() LowerOptions {
+	if o.Arch.NumPEs == 0 {
+		o.Arch = pim.Neurocube(16)
+	}
+	if o.MaxExec == 0 {
+		o.MaxExec = 4
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 2
+	}
+	return o
+}
+
+// ToTaskGraph lowers a finalized network to the weighted task DAG of
+// the paper's application model: one vertex per compute layer
+// (conv/pool/fc), with input and concat layers folded away so that a
+// consumer of a concat output depends directly on each branch
+// producer.  Edge transfer times follow the PIM latency model: cache
+// residency is effectively free at schedule granularity, while an
+// eDRAM round trip costs whole time units scaled by the IPR size.
+func ToTaskGraph(n *Network, opts LowerOptions) (*dag.Graph, error) {
+	opts = opts.withDefaults()
+	if err := opts.Arch.Validate(); err != nil {
+		return nil, fmt.Errorf("cnn: lowering %q: %w", n.Name(), err)
+	}
+	layers := n.Layers()
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("cnn: lowering %q: empty network (did Finalize succeed?)", n.Name())
+	}
+
+	g := dag.New(n.Name())
+
+	// Pass 1: create vertices for compute layers, scaled by MACs.
+	var maxMACs int64 = 1
+	for i := range layers {
+		if layers[i].IsCompute() && layers[i].MACs() > maxMACs {
+			maxMACs = layers[i].MACs()
+		}
+	}
+	vertexOf := make(map[string]dag.NodeID, len(layers))
+	for i := range layers {
+		l := &layers[i]
+		if !l.IsCompute() {
+			continue
+		}
+		exec := int(int64(opts.MaxExec) * l.MACs() / maxMACs)
+		if exec < 1 {
+			exec = 1
+		}
+		kind := dag.OpConv
+		switch l.Kind {
+		case KindPool:
+			kind = dag.OpPool
+		case KindFC:
+			kind = dag.OpFC
+		}
+		vertexOf[l.Name] = g.AddNode(dag.Node{
+			Name: l.Name,
+			Kind: kind,
+			Exec: exec,
+			MACs: l.MACs(),
+		})
+	}
+
+	// Pass 2: resolve each compute layer's producers through folded
+	// (input/concat) layers and create IPR edges.  First collect the
+	// byte sizes so Size can be quantized against the maximum.
+	type rawEdge struct {
+		from, to dag.NodeID
+		bytes    int64
+	}
+	var raw []rawEdge
+	var maxBytes int64 = 1
+	for i := range layers {
+		l := &layers[i]
+		if !l.IsCompute() {
+			continue
+		}
+		to := vertexOf[l.Name]
+		for _, p := range n.computeProducers(l.Inputs) {
+			b := n.Layer(p).OutShape.Bytes()
+			raw = append(raw, rawEdge{from: vertexOf[p], to: to, bytes: b})
+			if b > maxBytes {
+				maxBytes = b
+			}
+		}
+	}
+	// Deterministic edge order regardless of map iteration above
+	// (computeProducers is already deterministic, but keep the sort as
+	// a hard guarantee for golden tests).
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].to != raw[j].to {
+			return raw[i].to < raw[j].to
+		}
+		return raw[i].from < raw[j].from
+	})
+
+	edramUnit := opts.Arch.TransferTimeUnits(pim.InEDRAM)
+	if edramUnit < 1 {
+		edramUnit = 1
+	}
+	for _, r := range raw {
+		size := int(int64(opts.MaxSize) * r.bytes / maxBytes)
+		if size < 1 {
+			size = 1
+		}
+		g.AddEdge(dag.Edge{
+			From:      r.from,
+			To:        r.to,
+			Size:      size,
+			CacheTime: 0,
+			EDRAMTime: edramUnit * size,
+			Bytes:     r.bytes,
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("cnn: lowering %q produced invalid graph: %w", n.Name(), err)
+	}
+	return g, nil
+}
+
+// computeProducers maps a list of input layer names to the compute
+// layers that actually produce the data, looking through concat and
+// dropping network inputs (which model off-chip input feature maps,
+// not IPRs).  The result is deterministic and duplicate-free, in
+// first-reference order.
+func (n *Network) computeProducers(inputs []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(name string)
+	walk = func(name string) {
+		l := n.Layer(name)
+		switch {
+		case l == nil:
+			// Unreachable for finalized networks; ignore defensively.
+		case l.IsCompute():
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		case l.Kind == KindConcat:
+			for _, in := range l.Inputs {
+				walk(in)
+			}
+		case l.Kind == KindInput:
+			// No edge: inputs stream from off-chip.
+		}
+	}
+	for _, in := range inputs {
+		walk(in)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+// Package core implements Para-CONV's optimal data allocation for
+// convolutional connections (paper §3.3) — the paper's primary
+// contribution.
+//
+// After the retiming analysis (internal/retime) classifies every
+// intermediate processing result (IPR) into one of the six Figure-4
+// cases, each IPR I_m carries a profit ΔR(m): the reduction in its
+// required relative retiming value obtained by placing it in scarce
+// on-chip cache instead of stacked eDRAM.  Zero-profit IPRs (cases 1,
+// 4 and 6) are sent to eDRAM outright to save cache space (§3.2); the
+// rest compete for the cache capacity S.  Characterizing the optimal
+// allocation (§3.3.1) sorts the competitors by deadline in
+// O(n log n); the recurrence (§3.3.2)
+//
+//	B[S,m] = max( B[S,m-1], B[S-sp_m, m-1] + ΔR(m) )
+//
+// is evaluated bottom-up in O(n·S) and the optimal subset is
+// reconstructed by backtracking (§3.3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/retime"
+)
+
+// Item is one cache-competitor IPR in the dynamic program.
+type Item struct {
+	// Edge identifies the IPR in the task graph.
+	Edge dag.EdgeID
+	// Deadline is d_m: the schedule time by which the transfer must
+	// complete, i.e. the consumer's start time.  Items are processed
+	// in increasing deadline order (§3.3.1).
+	Deadline int
+	// Size is sp_m, the cache footprint.
+	Size int
+	// DeltaR is ΔR(m), the retiming-value reduction if cached.
+	DeltaR int
+}
+
+// BuildItems derives the DP item list from the per-edge retiming
+// classification: every IPR with positive ΔR becomes a competitor,
+// with its deadline taken from the consumer's start time in the
+// objective schedule.  The result is sorted by deadline (ties by edge
+// ID for determinism), completing the §3.3.1 precomputation.
+func BuildItems(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing) ([]Item, error) {
+	if len(classes) != g.NumEdges() {
+		return nil, fmt.Errorf("core: classification covers %d edges; want %d", len(classes), g.NumEdges())
+	}
+	if err := tm.Validate(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	var items []Item
+	for i := range classes {
+		c := &classes[i]
+		if c.DeltaR() <= 0 {
+			continue
+		}
+		e := g.Edge(c.Edge)
+		items = append(items, Item{
+			Edge:     c.Edge,
+			Deadline: tm.Start[e.To],
+			Size:     e.Size,
+			DeltaR:   c.DeltaR(),
+		})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Deadline != items[b].Deadline {
+			return items[a].Deadline < items[b].Deadline
+		}
+		return items[a].Edge < items[b].Edge
+	})
+	return items, nil
+}
+
+// Allocation is the outcome of the optimal data allocation.
+type Allocation struct {
+	// Assignment gives the chosen placement of every IPR in the
+	// graph, indexed by dag.EdgeID.
+	Assignment retime.Assignment
+	// Profit is the total ΔR harvested: Σ ΔR(m) over cached items —
+	// the value B[S,n] of the recurrence.
+	Profit int
+	// CacheUsed is the capacity consumed by cached items.
+	CacheUsed int
+	// CachedCount is the number of IPRs placed in on-chip cache (the
+	// quantity Figure 6 reports).
+	CachedCount int
+	// Competitors is the number of positive-ΔR IPRs that competed.
+	Competitors int
+}
+
+// Optimize runs the full §3.3 pipeline: build the competitor list,
+// solve the dynamic program under cache capacity, and reconstruct the
+// placement of every IPR.  Capacity left over after the competitors
+// are placed is back-filled with zero-ΔR IPRs in decreasing traffic
+// order (§3.3.3): they cannot shorten the prologue, but every one kept
+// on chip avoids an eDRAM round trip's latency and energy.
+func Optimize(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capacity int) (Allocation, error) {
+	if capacity < 0 {
+		return Allocation{}, fmt.Errorf("core: cache capacity %d; want >= 0", capacity)
+	}
+	items, err := BuildItems(g, classes, tm)
+	if err != nil {
+		return Allocation{}, err
+	}
+	chosen, profit := Knapsack(items, capacity)
+	alloc := Allocation{
+		Assignment:  retime.AllEDRAM(g.NumEdges()),
+		Profit:      profit,
+		Competitors: len(items),
+	}
+	for i, item := range items {
+		if chosen[i] {
+			alloc.Assignment[item.Edge] = pim.InCache
+			alloc.CacheUsed += item.Size
+			alloc.CachedCount++
+		}
+	}
+	fillZeroDelta(g, classes, &alloc, capacity)
+	return alloc, nil
+}
+
+// fillZeroDelta back-fills remaining cache capacity with zero-profit
+// IPRs, largest traffic first (ties by smaller footprint, then edge
+// ID, for determinism).
+func fillZeroDelta(g *dag.Graph, classes []retime.EdgeClass, alloc *Allocation, capacity int) {
+	var fillers []dag.EdgeID
+	for i := range classes {
+		if classes[i].DeltaR() <= 0 {
+			fillers = append(fillers, classes[i].Edge)
+		}
+	}
+	sort.Slice(fillers, func(a, b int) bool {
+		ea, eb := g.Edge(fillers[a]), g.Edge(fillers[b])
+		ta, tb := trafficOf(ea), trafficOf(eb)
+		if ta != tb {
+			return ta > tb
+		}
+		if ea.Size != eb.Size {
+			return ea.Size < eb.Size
+		}
+		return fillers[a] < fillers[b]
+	})
+	left := capacity - alloc.CacheUsed
+	for _, id := range fillers {
+		sz := g.Edge(id).Size
+		if sz <= left {
+			alloc.Assignment[id] = pim.InCache
+			alloc.CacheUsed += sz
+			alloc.CachedCount++
+			left -= sz
+		}
+	}
+}
+
+func trafficOf(e *dag.Edge) int64 {
+	if e.Bytes > 0 {
+		return e.Bytes
+	}
+	return int64(e.Size)
+}
+
+// Knapsack evaluates the §3.3.2 recurrence bottom-up and reconstructs
+// one optimal subset.  chosen[i] reports whether items[i] is cached;
+// profit is B[capacity, len(items)].  Runs in O(n·S) time and space
+// (the table is kept for backtracking, as §3.3.3 prescribes).
+func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
+	n := len(items)
+	chosen = make([]bool, n)
+	if n == 0 || capacity <= 0 {
+		return chosen, 0
+	}
+	// B[m][s]: max profit using the first m items within capacity s.
+	b := make([][]int, n+1)
+	for m := range b {
+		b[m] = make([]int, capacity+1)
+	}
+	for m := 1; m <= n; m++ {
+		it := &items[m-1]
+		for s := 0; s <= capacity; s++ {
+			best := b[m-1][s]
+			if it.Size <= s {
+				if cand := b[m-1][s-it.Size] + it.DeltaR; cand > best {
+					best = cand
+				}
+			}
+			b[m][s] = best
+		}
+	}
+	profit = b[n][capacity]
+	// Backtrack: item m was taken iff its row improved on the
+	// remaining capacity.
+	s := capacity
+	for m := n; m >= 1; m-- {
+		if b[m][s] != b[m-1][s] {
+			chosen[m-1] = true
+			s -= items[m-1].Size
+		}
+	}
+	return chosen, profit
+}
+
+// BruteForce computes the optimal knapsack profit by exhaustive subset
+// enumeration.  Exponential — usable only for small item counts; it
+// exists to certify Knapsack's optimality in tests and ablations.
+func BruteForce(items []Item, capacity int) int {
+	n := len(items)
+	if n > 24 {
+		panic(fmt.Sprintf("core: BruteForce over %d items would enumerate 2^%d subsets", n, n))
+	}
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		size, profit := 0, 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size += items[i].Size
+				profit += items[i].DeltaR
+			}
+		}
+		if size <= capacity && profit > best {
+			best = profit
+		}
+	}
+	return best
+}
+
+// Greedy is the density-ordered heuristic baseline used in ablation
+// studies: it caches items by decreasing ΔR/size until capacity runs
+// out.  Not optimal — the benches quantify the gap to Knapsack.
+func Greedy(items []Item, capacity int) (chosen []bool, profit int) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := &items[order[a]], &items[order[b]]
+		da := float64(ia.DeltaR) / float64(ia.Size)
+		db := float64(ib.DeltaR) / float64(ib.Size)
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	chosen = make([]bool, len(items))
+	left := capacity
+	for _, i := range order {
+		if items[i].Size <= left {
+			chosen[i] = true
+			left -= items[i].Size
+			profit += items[i].DeltaR
+		}
+	}
+	return chosen, profit
+}

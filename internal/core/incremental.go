@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// IncrementalDP maintains the §3.3.2 recurrence under item insertion
+// and removal, for online re-allocation: when a new intermediate
+// processing result appears (a layer is added, a schedule is patched)
+// the optimal profit updates in O(S) instead of re-solving from
+// scratch, and the most recent items can be retracted in O(1)
+// (the DP rows form a stack).
+type IncrementalDP struct {
+	capacity int
+	items    []Item
+	// rows[m][s] = B[s, m] over the first m items; rows[0] is the
+	// all-zero base row.
+	rows [][]int
+}
+
+// NewIncrementalDP returns an empty solver with the given cache
+// capacity.
+func NewIncrementalDP(capacity int) (*IncrementalDP, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("core: incremental DP capacity %d; want >= 0", capacity)
+	}
+	base := make([]int, capacity+1)
+	return &IncrementalDP{capacity: capacity, rows: [][]int{base}}, nil
+}
+
+// Len returns the number of items currently in the solver.
+func (d *IncrementalDP) Len() int { return len(d.items) }
+
+// Capacity returns the configured cache capacity.
+func (d *IncrementalDP) Capacity() int { return d.capacity }
+
+// Profit returns the optimal total ΔR for the current item set — the
+// value B[S, m].
+func (d *IncrementalDP) Profit() int {
+	return d.rows[len(d.rows)-1][d.capacity]
+}
+
+// Push adds an item and updates the recurrence in O(S).
+func (d *IncrementalDP) Push(it Item) {
+	prev := d.rows[len(d.rows)-1]
+	row := make([]int, d.capacity+1)
+	for s := 0; s <= d.capacity; s++ {
+		best := prev[s]
+		if it.Size >= 1 && it.Size <= s {
+			if cand := prev[s-it.Size] + it.DeltaR; cand > best {
+				best = cand
+			}
+		}
+		row[s] = best
+	}
+	d.items = append(d.items, it)
+	d.rows = append(d.rows, row)
+}
+
+// Pop retracts the most recently pushed item in O(1) and returns it.
+// It panics if the solver is empty.
+func (d *IncrementalDP) Pop() Item {
+	if len(d.items) == 0 {
+		panic("core: Pop on empty IncrementalDP")
+	}
+	it := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	d.rows = d.rows[:len(d.rows)-1]
+	return it
+}
+
+// Chosen reconstructs one optimal subset for the current item set by
+// backtracking the stacked rows (same procedure as Knapsack's
+// §3.3.3 reconstruction).
+func (d *IncrementalDP) Chosen() []bool {
+	n := len(d.items)
+	chosen := make([]bool, n)
+	s := d.capacity
+	for m := n; m >= 1; m-- {
+		if d.rows[m][s] != d.rows[m-1][s] {
+			chosen[m-1] = true
+			s -= d.items[m-1].Size
+		}
+	}
+	return chosen
+}
+
+// Items returns a copy of the current item stack, oldest first.
+func (d *IncrementalDP) Items() []Item {
+	return append([]Item(nil), d.items...)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		cap := rng.Intn(30)
+		d, err := NewIncrementalDP(cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := randomItems(rng, rng.Intn(25))
+		for i, it := range items {
+			d.Push(it)
+			_, want := Knapsack(items[:i+1], cap)
+			if got := d.Profit(); got != want {
+				t.Fatalf("trial %d after %d pushes: incremental %d != batch %d", trial, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestIncrementalPushPop(t *testing.T) {
+	d, err := NewIncrementalDP(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Item{Edge: 0, Size: 4, DeltaR: 2}
+	b := Item{Edge: 1, Size: 7, DeltaR: 3}
+	d.Push(a)
+	if d.Profit() != 2 {
+		t.Errorf("after a: %d", d.Profit())
+	}
+	d.Push(b)
+	if d.Profit() != 3 { // both don't fit (11 > 10); best single is b
+		t.Errorf("after b: %d", d.Profit())
+	}
+	got := d.Pop()
+	if got != b {
+		t.Errorf("Pop = %+v", got)
+	}
+	if d.Profit() != 2 || d.Len() != 1 {
+		t.Errorf("after pop: profit %d len %d", d.Profit(), d.Len())
+	}
+	d.Push(Item{Edge: 2, Size: 6, DeltaR: 5})
+	if d.Profit() != 7 { // 4+6 fits
+		t.Errorf("after repush: %d", d.Profit())
+	}
+}
+
+func TestIncrementalChosenConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d, err := NewIncrementalDP(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randomItems(rng, 15)
+	for _, it := range items {
+		d.Push(it)
+	}
+	chosen := d.Chosen()
+	size, profit := 0, 0
+	for i, c := range chosen {
+		if c {
+			size += items[i].Size
+			profit += items[i].DeltaR
+		}
+	}
+	if profit != d.Profit() {
+		t.Errorf("chosen realizes %d, Profit says %d", profit, d.Profit())
+	}
+	if size > d.Capacity() {
+		t.Errorf("chosen uses %d > capacity %d", size, d.Capacity())
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	if _, err := NewIncrementalDP(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	d, _ := NewIncrementalDP(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty solver did not panic")
+		}
+	}()
+	d.Pop()
+}
+
+func TestIncrementalItemsCopy(t *testing.T) {
+	d, _ := NewIncrementalDP(5)
+	d.Push(Item{Edge: 3, Size: 1, DeltaR: 1})
+	items := d.Items()
+	items[0].DeltaR = 99
+	if d.Items()[0].DeltaR != 1 {
+		t.Error("Items leaked internal state")
+	}
+}
+
+// Property: any interleaving of pushes and pops leaves the solver
+// agreeing with a batch solve of the surviving items.
+func TestIncrementalInterleavingProperty(t *testing.T) {
+	f := func(seed int64, ops []bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := NewIncrementalDP(1 + rng.Intn(20))
+		if err != nil {
+			return false
+		}
+		var live []Item
+		for _, push := range ops {
+			if push || len(live) == 0 {
+				it := Item{Size: 1 + rng.Intn(4), DeltaR: rng.Intn(3)}
+				d.Push(it)
+				live = append(live, it)
+			} else {
+				d.Pop()
+				live = live[:len(live)-1]
+			}
+		}
+		_, want := Knapsack(live, d.Capacity())
+		return d.Profit() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "sort"
+
+// KnapsackProfit evaluates the §3.3.2 recurrence with a rolling row —
+// O(S) space instead of the O(n·S) table — returning only the optimal
+// profit.  Use it when the chosen subset is not needed (bounds,
+// validation, large sweeps); Knapsack keeps the full table for the
+// §3.3.3 reconstruction.
+func KnapsackProfit(items []Item, capacity int) int {
+	if len(items) == 0 || capacity <= 0 {
+		return 0
+	}
+	row := make([]int, capacity+1)
+	for i := range items {
+		it := &items[i]
+		// Descending so each item is used at most once.
+		for s := capacity; s >= it.Size; s-- {
+			if cand := row[s-it.Size] + it.DeltaR; cand > row[s] {
+				row[s] = cand
+			}
+		}
+	}
+	return row[capacity]
+}
+
+// BranchAndBound computes the optimal knapsack profit by depth-first
+// search with a fractional-relaxation bound.  Exponential in the worst
+// case but typically far faster than BruteForce and not limited to 24
+// items; it exists as an independent oracle that certifies the DP.
+func BranchAndBound(items []Item, capacity int) int {
+	if len(items) == 0 || capacity <= 0 {
+		return 0
+	}
+	// Density order makes the fractional bound tight.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := &items[order[a]], &items[order[b]]
+		return ia.DeltaR*ib.Size > ib.DeltaR*ia.Size
+	})
+	sorted := make([]Item, len(items))
+	for i, idx := range order {
+		sorted[i] = items[idx]
+	}
+
+	best := 0
+	var dfs func(i, left, profit int)
+	dfs = func(i, left, profit int) {
+		if profit > best {
+			best = profit
+		}
+		if i == len(sorted) || left == 0 {
+			return
+		}
+		// Fractional upper bound from item i onward.
+		bound := profit
+		space := left
+		for j := i; j < len(sorted); j++ {
+			if sorted[j].Size <= space {
+				space -= sorted[j].Size
+				bound += sorted[j].DeltaR
+			} else {
+				bound += sorted[j].DeltaR * space / sorted[j].Size
+				break
+			}
+		}
+		if bound <= best {
+			return
+		}
+		if sorted[i].Size <= left {
+			dfs(i+1, left-sorted[i].Size, profit+sorted[i].DeltaR)
+		}
+		dfs(i+1, left, profit)
+	}
+	dfs(0, capacity, 0)
+	return best
+}

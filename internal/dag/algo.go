@@ -1,0 +1,257 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCyclic is returned (wrapped) by algorithms that require a DAG when
+// the graph contains a directed cycle.
+var ErrCyclic = errors.New("dag: graph contains a cycle")
+
+// TopoSort returns one topological order of the vertices (Kahn's
+// algorithm, smallest-ID-first among ready vertices so the order is
+// deterministic).  It returns ErrCyclic if the graph is not acyclic.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	// Min-heap behaviour via a simple sorted ready list is O(V^2) in
+	// the worst case; the graphs here are ≤ a few thousand vertices,
+	// and determinism matters more than asymptotics.  Use an index
+	// heap for O(E log V) anyway, hand-rolled to avoid interface
+	// allocation churn.
+	heap := newIDHeap(n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heap.push(NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for heap.len() > 0 {
+		v := heap.pop()
+		order = append(order, v)
+		for _, eid := range g.out[v] {
+			w := g.edges[eid].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				heap.push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("topological sort visited %d of %d vertices: %w", len(order), n, ErrCyclic)
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Levels returns the ASAP level decomposition: level 0 holds the
+// sources; level k holds vertices all of whose predecessors sit in
+// levels < k with at least one in level k-1.  Panics on cyclic graphs.
+func (g *Graph) Levels() [][]NodeID {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	lvl := make([]int, g.NumNodes())
+	maxLvl := -1
+	for _, v := range order {
+		l := 0
+		for _, eid := range g.in[v] {
+			p := g.edges[eid].From
+			if lvl[p]+1 > l {
+				l = lvl[p] + 1
+			}
+		}
+		lvl[v] = l
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	levels := make([][]NodeID, maxLvl+1)
+	for _, v := range order {
+		levels[lvl[v]] = append(levels[lvl[v]], v)
+	}
+	return levels
+}
+
+// LevelOf returns, for each vertex, its ASAP level (same definition as
+// Levels).  Panics on cyclic graphs.
+func (g *Graph) LevelOf() []int {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	lvl := make([]int, g.NumNodes())
+	for _, v := range order {
+		for _, eid := range g.in[v] {
+			p := g.edges[eid].From
+			if lvl[p]+1 > lvl[v] {
+				lvl[v] = lvl[p] + 1
+			}
+		}
+	}
+	return lvl
+}
+
+// CriticalPath returns the execution-weighted length of the longest
+// path (sum of Exec over its vertices, edge weights excluded) and one
+// such path.  For an empty graph it returns (0, nil).  Panics on
+// cyclic graphs.
+func (g *Graph) CriticalPath() (int, []NodeID) {
+	return g.longestPath(func(e *Edge) int { return 0 })
+}
+
+// CriticalPathWithTransfers is CriticalPath but adds an edge weight for
+// every traversed edge, supplied by weight (typically the eDRAM or
+// cache transfer time of the IPR).  Panics on cyclic graphs.
+func (g *Graph) CriticalPathWithTransfers(weight func(*Edge) int) (int, []NodeID) {
+	return g.longestPath(weight)
+}
+
+func (g *Graph) longestPath(edgeWeight func(*Edge) int) (int, []NodeID) {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, nil
+	}
+	dist := make([]int, n) // longest path ending at v, inclusive of v
+	pred := make([]NodeID, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	best, bestV := 0, NodeID(-1)
+	for _, v := range order {
+		d := 0
+		for _, eid := range g.in[v] {
+			e := &g.edges[eid]
+			cand := dist[e.From] + edgeWeight(e)
+			if cand > d {
+				d = cand
+				pred[v] = e.From
+			}
+		}
+		dist[v] = d + g.nodes[v].Exec
+		if dist[v] > best {
+			best, bestV = dist[v], v
+		}
+	}
+	var path []NodeID
+	for v := bestV; v != -1; v = pred[v] {
+		path = append(path, v)
+	}
+	// reverse in place
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path
+}
+
+// ASAPStarts returns the as-soon-as-possible start time of each vertex
+// assuming unlimited PEs, where a vertex may start once every
+// predecessor has finished and its IPR has been transferred; transfer
+// times come from weight.  Panics on cyclic graphs.
+func (g *Graph) ASAPStarts(weight func(*Edge) int) []int {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	start := make([]int, g.NumNodes())
+	for _, v := range order {
+		s := 0
+		for _, eid := range g.in[v] {
+			e := &g.edges[eid]
+			ready := start[e.From] + g.nodes[e.From].Exec + weight(e)
+			if ready > s {
+				s = ready
+			}
+		}
+		start[v] = s
+	}
+	return start
+}
+
+// ReachableFrom returns the set of vertices reachable from v,
+// including v itself, as a boolean slice indexed by NodeID.
+func (g *Graph) ReachableFrom(v NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{v}
+	seen[v] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.out[u] {
+			w := g.edges[eid].To
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// HasPath reports whether a directed path exists from a to b (true for
+// a == b).
+func (g *Graph) HasPath(a, b NodeID) bool {
+	return g.ReachableFrom(a)[b]
+}
+
+// idHeap is a minimal binary min-heap of NodeIDs; hand-rolled rather
+// than container/heap to keep the hot topological-sort path free of
+// interface boxing.
+type idHeap struct{ a []NodeID }
+
+func newIDHeap(capacity int) *idHeap {
+	return &idHeap{a: make([]NodeID, 0, capacity)}
+}
+
+func (h *idHeap) len() int { return len(h.a) }
+
+func (h *idHeap) push(v NodeID) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() NodeID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,162 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format written by WriteText / read by ReadText is a small
+// line-oriented exchange format so the cmd/ tools can pass graphs
+// around without a JSON schema:
+//
+//	graph <name>
+//	node <id> <kind> <exec> [name]
+//	edge <from> <to> <size> <cachetime> <edramtime>
+//
+// Lines beginning with '#' and blank lines are ignored.  Node lines
+// must appear before any edge referencing them; ids must be the dense
+// 0..n-1 sequence in order (matching AddNode's assignment).
+
+// WriteText serializes g in the package text format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s\n", sanitizeToken(g.Name(), "unnamed"))
+	for i := range g.Nodes() {
+		n := &g.Nodes()[i]
+		fmt.Fprintf(bw, "node %d %s %d %s\n", n.ID, n.Kind, n.Exec, sanitizeToken(n.Name, "-"))
+	}
+	for i := range g.Edges() {
+		e := &g.Edges()[i]
+		fmt.Fprintf(bw, "edge %d %d %d %d %d\n", e.From, e.To, e.Size, e.CacheTime, e.EDRAMTime)
+	}
+	return bw.Flush()
+}
+
+func sanitizeToken(s, fallback string) string {
+	s = strings.Join(strings.Fields(s), "_")
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// ReadText parses the package text format.  The returned graph is
+// validated; any structural defect is reported as an error.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	g := New("")
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dag: line %d: want 'graph <name>', got %q", lineNo, line)
+			}
+			g.SetName(fields[1])
+		case "node":
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fmt.Errorf("dag: line %d: want 'node <id> <kind> <exec> [name]', got %q", lineNo, line)
+			}
+			var id, exec int
+			if _, err := fmt.Sscanf(fields[1], "%d", &id); err != nil {
+				return nil, fmt.Errorf("dag: line %d: bad node id %q: %v", lineNo, fields[1], err)
+			}
+			kind, err := parseKind(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: %v", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[3], "%d", &exec); err != nil {
+				return nil, fmt.Errorf("dag: line %d: bad exec %q: %v", lineNo, fields[3], err)
+			}
+			name := ""
+			if len(fields) == 5 && fields[4] != "-" {
+				name = fields[4]
+			}
+			got := g.AddNode(Node{Name: name, Kind: kind, Exec: exec})
+			if int(got) != id {
+				return nil, fmt.Errorf("dag: line %d: node ids must be dense and in order: declared %d, assigned %d", lineNo, id, got)
+			}
+		case "edge":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("dag: line %d: want 'edge <from> <to> <size> <cachetime> <edramtime>', got %q", lineNo, line)
+			}
+			var from, to, size, ct, et int
+			for i, dst := range []*int{&from, &to, &size, &ct, &et} {
+				if _, err := fmt.Sscanf(fields[i+1], "%d", dst); err != nil {
+					return nil, fmt.Errorf("dag: line %d: bad field %q: %v", lineNo, fields[i+1], err)
+				}
+			}
+			if from < 0 || from >= g.NumNodes() || to < 0 || to >= g.NumNodes() {
+				return nil, fmt.Errorf("dag: line %d: edge %d->%d references undeclared node", lineNo, from, to)
+			}
+			g.AddEdge(Edge{From: NodeID(from), To: NodeID(to), Size: size, CacheTime: ct, EDRAMTime: et})
+		default:
+			return nil, fmt.Errorf("dag: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dag: reading graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseKind(s string) (OpKind, error) {
+	switch s {
+	case "conv":
+		return OpConv, nil
+	case "pool":
+		return OpPool, nil
+	case "fc":
+		return OpFC, nil
+	case "input":
+		return OpInput, nil
+	case "output":
+		return OpOutput, nil
+	default:
+		return 0, fmt.Errorf("unknown op kind %q", s)
+	}
+}
+
+// WriteDOT emits the graph in Graphviz DOT syntax for visual
+// inspection.  Conv vertices are boxes, pool vertices are ellipses;
+// edge labels show size and the cache/eDRAM transfer times.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", sanitizeToken(g.Name(), "G"))
+	fmt.Fprintf(bw, "  rankdir=TB;\n  node [fontsize=10];\n")
+	for i := range g.Nodes() {
+		n := &g.Nodes()[i]
+		shape := "box"
+		switch n.Kind {
+		case OpPool:
+			shape = "ellipse"
+		case OpFC:
+			shape = "hexagon"
+		case OpInput, OpOutput:
+			shape = "plaintext"
+		}
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("T%d", n.ID+1)
+		}
+		fmt.Fprintf(bw, "  n%d [shape=%s,label=\"%s\\nc=%d\"];\n", n.ID, shape, label, n.Exec)
+	}
+	for i := range g.Edges() {
+		e := &g.Edges()[i]
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"sp=%d t=%d/%d\"];\n", e.From, e.To, e.Size, e.CacheTime, e.EDRAMTime)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,211 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	g.SetName("fig 2b") // space forces sanitization
+	g.Node(2).Kind = OpPool
+	g.Node(2).Name = "pool layer" // space forces sanitization
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if got.Name() != "fig_2b" {
+		t.Errorf("round-tripped name = %q, want %q", got.Name(), "fig_2b")
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: |V|=%d |E|=%d", got.NumNodes(), got.NumEdges())
+	}
+	if got.Node(2).Kind != OpPool || got.Node(2).Name != "pool_layer" {
+		t.Errorf("node 2 round trip = %+v", *got.Node(2))
+	}
+	for i := range g.Edges() {
+		a, b := g.Edge(EdgeID(i)), got.Edge(EdgeID(i))
+		if a.From != b.From || a.To != b.To || a.Size != b.Size ||
+			a.CacheTime != b.CacheTime || a.EDRAMTime != b.EDRAMTime {
+			t.Errorf("edge %d round trip mismatch: %+v vs %+v", i, *a, *b)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlank(t *testing.T) {
+	in := `# a comment
+graph g
+
+node 0 conv 2 first
+# another comment
+node 1 fc 3 -
+edge 0 1 4 1 3
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("|V|=%d |E|=%d, want 2/1", g.NumNodes(), g.NumEdges())
+	}
+	if g.Node(1).Kind != OpFC || g.Node(1).Name != "" {
+		t.Errorf("node 1 = %+v", *g.Node(1))
+	}
+	e := g.Edge(0)
+	if e.Size != 4 || e.CacheTime != 1 || e.EDRAMTime != 3 {
+		t.Errorf("edge = %+v", *e)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"unknown directive", "frob 1 2\n", "unknown directive"},
+		{"bad node arity", "node 0 conv\n", "want 'node"},
+		{"bad kind", "node 0 wat 1\n", "unknown op kind"},
+		{"non-dense id", "node 5 conv 1\n", "dense"},
+		{"bad edge arity", "node 0 conv 1\nedge 0 0\n", "want 'edge"},
+		{"edge to undeclared", "node 0 conv 1\nedge 0 7 1 0 1\n", "undeclared"},
+		{"invalid graph", "node 0 conv 1\nnode 1 conv 1\nedge 0 1 0 0 1\n", "size"},
+		{"bad exec literal", "node 0 conv xyz\n", "bad exec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadText(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("ReadText returned nil error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := paperGraph(t)
+	g.Node(1).Kind = OpPool
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "ellipse", "sp=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTextRoundTripProperty regenerates random small DAGs and checks
+// that serialize→parse is the identity on the fields the format
+// carries.
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 12, 20)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Edges() {
+			a, b := g.Edge(EdgeID(i)), got.Edge(EdgeID(i))
+			if *a != *b && (a.From != b.From || a.To != b.To || a.Size != b.Size ||
+				a.CacheTime != b.CacheTime || a.EDRAMTime != b.EDRAMTime) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDAG builds a seeded random DAG with up to maxV vertices and
+// maxE forward edges; used by property tests in this package.
+func randomDAG(seed int64, maxV, maxE int) *Graph {
+	// A tiny deterministic linear-congruential generator keeps this
+	// helper self-contained (math/rand would be fine too).
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	v := 2 + next(maxV-1)
+	g := New("rand")
+	for i := 0; i < v; i++ {
+		g.AddNode(Node{Kind: OpConv, Exec: 1 + next(4)})
+	}
+	e := next(maxE + 1)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < e; i++ {
+		a := next(v - 1)
+		b := a + 1 + next(v-a-1)
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		ct := next(3)
+		g.AddEdge(Edge{
+			From: NodeID(a), To: NodeID(b),
+			Size: 1 + next(5), CacheTime: ct, EDRAMTime: ct + next(4),
+		})
+	}
+	return g
+}
+
+// TestReadTextNeverPanics feeds adversarial byte soup to the parser:
+// it must return a value or an error, never panic.
+func TestReadTextNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "\n\n\n", "graph", "graph a b c",
+		"node", "node -1 conv 1", "node 0 conv -5",
+		"node 0 conv 99999999999999999999",
+		"edge 0 1 1 1 1",
+		"node 0 conv 1\nedge 0 0 1 0 1",
+		"node 0 conv 1\nnode 1 conv 1\nedge 0 1 -1 -2 -3",
+		strings.Repeat("node 0 conv 1\n", 3),
+		"graph g\x00\x01\x02",
+		"node 0 conv 1 " + strings.Repeat("x", 100000),
+	}
+	for i, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %d panicked: %v", i, r)
+				}
+			}()
+			_, _ = ReadText(strings.NewReader(in))
+		}()
+	}
+}
+
+// TestReadTextRandomBytesProperty: random short byte strings never
+// panic the parser.
+func TestReadTextRandomBytesProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() { recover() }()
+		_, _ = ReadText(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package dag
+
+import "fmt"
+
+// WidthProfile returns the number of vertices at each ASAP level — the
+// graph's parallelism profile.  MaxWidth bounds how many PEs a
+// dependency-respecting scheduler can keep busy simultaneously, which
+// is exactly where the SPARTA baseline's scaling saturates.
+func (g *Graph) WidthProfile() []int {
+	levels := g.Levels()
+	widths := make([]int, len(levels))
+	for i, l := range levels {
+		widths[i] = len(l)
+	}
+	return widths
+}
+
+// MaxWidth returns the widest level of the ASAP decomposition, or 0
+// for an empty graph.
+func (g *Graph) MaxWidth() int {
+	max := 0
+	for _, w := range g.WidthProfile() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// PathCount returns the number of distinct source-to-sink paths.  On
+// pathological graphs (path counts grow exponentially) it saturates at
+// 2^40 rather than overflowing.  Panics on cyclic graphs.
+func (g *Graph) PathCount() int64 {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	const saturate = int64(1) << 40
+	paths := make([]int64, g.NumNodes())
+	total := int64(0)
+	for _, v := range order {
+		if g.InDegree(v) == 0 {
+			paths[v] = 1
+		}
+		for _, eid := range g.Out(v) {
+			w := g.Edge(eid).To
+			paths[w] += paths[v]
+			if paths[w] > saturate {
+				paths[w] = saturate
+			}
+		}
+		if g.OutDegree(v) == 0 {
+			total += paths[v]
+			if total > saturate {
+				total = saturate
+			}
+		}
+	}
+	return total
+}
+
+// TransitiveReduction returns a copy of the graph with every edge
+// (u,v) removed when another u→v path of length ≥ 2 exists.  Edge
+// attributes of surviving edges are preserved.  The reduction is the
+// minimal graph with the same reachability — useful for visualizing
+// dense generated graphs and for measuring how much of |E| is
+// redundant dependency information.  Panics on cyclic graphs (the
+// reduction is unique only for DAGs).
+func (g *Graph) TransitiveReduction() *Graph {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range order {
+		pos[v] = i
+	}
+	out := New(g.Name())
+	for i := range g.Nodes() {
+		out.AddNode(g.Nodes()[i])
+	}
+	// An edge (u,v) is redundant iff v is reachable from u using at
+	// least one intermediate vertex.  Check by DFS from each
+	// successor of u other than v itself, bounded by topological
+	// position for pruning.
+	for u := 0; u < g.NumNodes(); u++ {
+		direct := g.Out(NodeID(u))
+		targets := make(map[NodeID]EdgeID, len(direct))
+		for _, eid := range direct {
+			targets[g.Edge(eid).To] = eid
+		}
+		redundant := make(map[NodeID]bool)
+		// DFS from each direct successor; any other direct target
+		// reached transitively is redundant.
+		var stack []NodeID
+		visited := make(map[NodeID]bool)
+		for _, eid := range direct {
+			mid := g.Edge(eid).To
+			for _, eid2 := range g.Out(mid) {
+				stack = append(stack, g.Edge(eid2).To)
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if _, isTarget := targets[v]; isTarget {
+				redundant[v] = true
+			}
+			for _, eid := range g.Out(v) {
+				w := g.Edge(eid).To
+				if !visited[w] && pos[w] > pos[NodeID(u)] {
+					stack = append(stack, w)
+				}
+			}
+		}
+		for _, eid := range direct {
+			e := g.Edge(eid)
+			if !redundant[e.To] {
+				out.AddEdge(*e)
+			}
+		}
+	}
+	return out
+}
+
+// Summary returns a one-paragraph human description including the
+// parallelism metrics.
+func (g *Graph) Summary() string {
+	st := g.ComputeStats()
+	return fmt.Sprintf("%s; width max %d, %d paths", st, g.MaxWidth(), g.PathCount())
+}

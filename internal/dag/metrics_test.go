@@ -1,0 +1,128 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthProfile(t *testing.T) {
+	g := paperGraph(t)
+	widths := g.WidthProfile()
+	want := []int{1, 2, 2}
+	if len(widths) != len(want) {
+		t.Fatalf("widths = %v", widths)
+	}
+	for i, w := range want {
+		if widths[i] != w {
+			t.Errorf("width[%d] = %d, want %d", i, widths[i], w)
+		}
+	}
+	if g.MaxWidth() != 2 {
+		t.Errorf("MaxWidth = %d", g.MaxWidth())
+	}
+	if New("empty").MaxWidth() != 0 {
+		t.Error("empty graph MaxWidth != 0")
+	}
+}
+
+func TestPathCount(t *testing.T) {
+	// fig2b: T1 fans to T2/T3, each fans to T4/T5: 4 paths.
+	if got := paperGraph(t).PathCount(); got != 4 {
+		t.Errorf("paths = %d, want 4", got)
+	}
+	// A lone vertex is one path.
+	g := New("one")
+	g.AddNode(Node{Kind: OpConv, Exec: 1})
+	if got := g.PathCount(); got != 1 {
+		t.Errorf("single vertex paths = %d", got)
+	}
+	// Diamond: 2 paths.
+	if got := diamond(t).PathCount(); got != 2 {
+		t.Errorf("diamond paths = %d, want 2", got)
+	}
+}
+
+func TestPathCountSaturates(t *testing.T) {
+	// A ladder of diamonds doubles the count per stage; 80 stages
+	// would overflow int64 without saturation.
+	g := New("ladder")
+	prev := g.AddNode(Node{Kind: OpConv, Exec: 1})
+	for i := 0; i < 80; i++ {
+		a := g.AddNode(Node{Kind: OpConv, Exec: 1})
+		b := g.AddNode(Node{Kind: OpConv, Exec: 1})
+		join := g.AddNode(Node{Kind: OpConv, Exec: 1})
+		g.AddEdge(Edge{From: prev, To: a, Size: 1})
+		g.AddEdge(Edge{From: prev, To: b, Size: 1})
+		g.AddEdge(Edge{From: a, To: join, Size: 1})
+		g.AddEdge(Edge{From: b, To: join, Size: 1})
+		prev = join
+	}
+	got := g.PathCount()
+	if got <= 0 {
+		t.Fatalf("saturated count = %d; must stay positive", got)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// Triangle: 0->1, 1->2, 0->2; the direct 0->2 is redundant.
+	g := New("tri")
+	for i := 0; i < 3; i++ {
+		g.AddNode(Node{Kind: OpConv, Exec: 1})
+	}
+	g.AddEdge(Edge{From: 0, To: 1, Size: 1})
+	g.AddEdge(Edge{From: 1, To: 2, Size: 1})
+	g.AddEdge(Edge{From: 0, To: 2, Size: 1})
+	r := g.TransitiveReduction()
+	if r.NumEdges() != 2 {
+		t.Fatalf("reduced |E| = %d, want 2", r.NumEdges())
+	}
+	for i := range r.Edges() {
+		e := r.Edge(EdgeID(i))
+		if e.From == 0 && e.To == 2 {
+			t.Error("redundant edge 0->2 survived")
+		}
+	}
+}
+
+func TestTransitiveReductionPreservesEssentialEdges(t *testing.T) {
+	g := paperGraph(t) // no redundant edges
+	r := g.TransitiveReduction()
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("reduction removed essential edges: %d -> %d", g.NumEdges(), r.NumEdges())
+	}
+}
+
+// Property: the reduction preserves reachability exactly and never
+// adds edges.
+func TestTransitiveReductionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 14, 30)
+		r := g.TransitiveReduction()
+		if r.NumEdges() > g.NumEdges() {
+			return false
+		}
+		for a := 0; a < g.NumNodes(); a++ {
+			ra := g.ReachableFrom(NodeID(a))
+			rb := r.ReachableFrom(NodeID(a))
+			for v := range ra {
+				if ra[v] != rb[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphSummary(t *testing.T) {
+	s := paperGraph(t).Summary()
+	for _, want := range []string{"width max 2", "4 paths"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package dag
+
+import "fmt"
+
+// Replicate returns a graph containing `copies` disjoint copies of g.
+// Copy k's vertex i gets ID k*|V|+i, so IDs within a copy keep their
+// relative order; names are suffixed "#k" for k > 0.  Schedulers use
+// this to unroll several iterations of an application into one kernel
+// when the PE array is larger than a single iteration can fill.
+func Replicate(g *Graph, copies int) (*Graph, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("dag: Replicate(%d); want >= 1", copies)
+	}
+	if copies == 1 {
+		return g.Clone(), nil
+	}
+	out := New(g.Name())
+	n := g.NumNodes()
+	for k := 0; k < copies; k++ {
+		for i := range g.Nodes() {
+			node := g.Nodes()[i]
+			if k > 0 && node.Name != "" {
+				node.Name = fmt.Sprintf("%s#%d", node.Name, k)
+			}
+			out.AddNode(node)
+		}
+		for i := range g.Edges() {
+			e := g.Edges()[i]
+			e.From += NodeID(k * n)
+			e.To += NodeID(k * n)
+			out.AddEdge(e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationError describes one defect found by Validate.
+type ValidationError struct {
+	// Kind is a short machine-checkable category, e.g. "cycle",
+	// "exec", "transfer", "size", "self-loop", "duplicate-edge".
+	Kind string
+	// Detail is the human-readable description.
+	Detail string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return "dag: invalid graph: " + e.Kind + ": " + e.Detail }
+
+// Validate checks the structural and weight invariants the rest of the
+// system relies on:
+//
+//   - the graph is acyclic;
+//   - no self-loops and no duplicate (From,To) pairs;
+//   - every vertex has Exec >= 1 (a convolution takes time);
+//   - every edge has Size >= 1, CacheTime >= 0 and
+//     EDRAMTime >= CacheTime (vault fetch is never cheaper than
+//     on-chip cache, paper §2.2).
+//
+// All defects are reported, joined with errors.Join; nil means valid.
+func (g *Graph) Validate() error {
+	var errs []error
+	if !g.IsAcyclic() {
+		errs = append(errs, &ValidationError{Kind: "cycle", Detail: "graph must be a DAG"})
+	}
+	seen := make(map[[2]NodeID]bool, len(g.edges))
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.From == e.To {
+			errs = append(errs, &ValidationError{
+				Kind:   "self-loop",
+				Detail: fmt.Sprintf("edge %d is a self-loop on vertex %d", e.ID, e.From),
+			})
+		}
+		key := [2]NodeID{e.From, e.To}
+		if seen[key] {
+			errs = append(errs, &ValidationError{
+				Kind:   "duplicate-edge",
+				Detail: fmt.Sprintf("duplicate edge %d->%d (edge id %d)", e.From, e.To, e.ID),
+			})
+		}
+		seen[key] = true
+		if e.Size < 1 {
+			errs = append(errs, &ValidationError{
+				Kind:   "size",
+				Detail: fmt.Sprintf("edge %d (%d->%d) has Size %d; want >= 1", e.ID, e.From, e.To, e.Size),
+			})
+		}
+		if e.CacheTime < 0 {
+			errs = append(errs, &ValidationError{
+				Kind:   "transfer",
+				Detail: fmt.Sprintf("edge %d (%d->%d) has negative CacheTime %d", e.ID, e.From, e.To, e.CacheTime),
+			})
+		}
+		if e.EDRAMTime < e.CacheTime {
+			errs = append(errs, &ValidationError{
+				Kind: "transfer",
+				Detail: fmt.Sprintf("edge %d (%d->%d) has EDRAMTime %d < CacheTime %d; vault fetch cannot be cheaper than cache",
+					e.ID, e.From, e.To, e.EDRAMTime, e.CacheTime),
+			})
+		}
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.Kind == OpInput || n.Kind == OpOutput {
+			continue // pseudo vertices may be zero-cost
+		}
+		if n.Exec < 1 {
+			errs = append(errs, &ValidationError{
+				Kind:   "exec",
+				Detail: fmt.Sprintf("vertex %d (%q) has Exec %d; want >= 1", n.ID, n.Name, n.Exec),
+			})
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,109 @@
+package pim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveCacheAnchored(t *testing.T) {
+	m, err := DeriveCache(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AccessCycles != 4 {
+		t.Errorf("anchor cache cycles = %d, want 4", m.AccessCycles)
+	}
+	if m.EnergyPJPerByte != 1.0 {
+		t.Errorf("anchor cache energy = %g, want 1.0", m.EnergyPJPerByte)
+	}
+}
+
+func TestDeriveEDRAMAnchored(t *testing.T) {
+	m, err := DeriveEDRAM(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AccessCycles != 16 {
+		t.Errorf("anchor eDRAM cycles = %d, want 16", m.AccessCycles)
+	}
+	if m.EnergyPJPerByte != 6.0 {
+		t.Errorf("anchor eDRAM energy = %g, want 6.0", m.EnergyPJPerByte)
+	}
+}
+
+func TestDeriveScalingMonotone(t *testing.T) {
+	prevCycles, prevEnergy := 0, 0.0
+	for _, bytes := range []int{512, 1024, 4096, 16384, 65536} {
+		m, err := DeriveCache(bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.AccessCycles < prevCycles {
+			t.Errorf("cache cycles fell at %d B: %d < %d", bytes, m.AccessCycles, prevCycles)
+		}
+		if m.EnergyPJPerByte < prevEnergy {
+			t.Errorf("cache energy fell at %d B", bytes)
+		}
+		prevCycles, prevEnergy = m.AccessCycles, m.EnergyPJPerByte
+	}
+}
+
+func TestDeriveFloors(t *testing.T) {
+	if _, err := DeriveCache(100); err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Errorf("tiny cache accepted: %v", err)
+	}
+	if _, err := DeriveEDRAM(1000); err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Errorf("tiny eDRAM accepted: %v", err)
+	}
+}
+
+func TestDerivedConfig(t *testing.T) {
+	cfg, err := DerivedConfig("derived-16", 16, 4096, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Anchored inputs reproduce the Neurocube latencies.
+	base := Neurocube(16)
+	if cfg.CacheAccessCycles != base.CacheAccessCycles ||
+		cfg.EDRAMAccessCycles != base.EDRAMAccessCycles {
+		t.Errorf("derived (%d, %d) != neurocube (%d, %d)",
+			cfg.CacheAccessCycles, cfg.EDRAMAccessCycles,
+			base.CacheAccessCycles, base.EDRAMAccessCycles)
+	}
+	if cfg.Name != "derived-16" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+}
+
+func TestDerivedConfigRejectsOutOfBand(t *testing.T) {
+	// A giant PE cache with a small eDRAM partition pushes the fetch
+	// ratio below 2x, which Validate rejects.
+	if _, err := DerivedConfig("bad", 16, 1<<20, 1<<20); err == nil {
+		t.Error("out-of-band configuration accepted")
+	}
+}
+
+// Property: derived ratios stay positive and latency grows weakly
+// with size.
+func TestDeriveProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		bytes := 256 + int(raw)*16
+		m, err := DeriveCache(bytes)
+		if err != nil {
+			return false
+		}
+		bigger, err := DeriveCache(bytes * 4)
+		if err != nil {
+			return false
+		}
+		return m.AccessCycles >= 1 && bigger.AccessCycles >= m.AccessCycles &&
+			bigger.EnergyPJPerByte >= m.EnergyPJPerByte
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package pim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeurocubePresetsValid(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 32, 64, 100} {
+		cfg := Neurocube(n)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Neurocube(%d).Validate: %v", n, err)
+		}
+		if cfg.NumPEs != n {
+			t.Errorf("Neurocube(%d).NumPEs = %d", n, cfg.NumPEs)
+		}
+	}
+}
+
+func TestNeurocubeCacheEnvelope(t *testing.T) {
+	// The paper says current PIM provides 100-300KB cache for the
+	// entire PE array; our 32- and 64-PE presets must land inside it.
+	for _, n := range []int{32, 64} {
+		b := Neurocube(n).TotalCacheBytes()
+		if b < 100*1024 || b > 300*1024 {
+			t.Errorf("Neurocube(%d) total cache = %d B; want within [100KB,300KB]", n, b)
+		}
+	}
+}
+
+func TestFetchRatioWithinBand(t *testing.T) {
+	cfg := Neurocube(16)
+	r := cfg.FetchRatio()
+	if r < 2 || r > 10 {
+		t.Errorf("FetchRatio = %.2f; want within [2,10]", r)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Neurocube(16)
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero PEs", func(c *Config) { c.NumPEs = 0 }, "NumPEs"},
+		{"zero cache", func(c *Config) { c.CacheUnitsPerPE = 0 }, "CacheUnitsPerPE"},
+		{"zero vaults", func(c *Config) { c.NumVaults = 0 }, "NumVaults"},
+		{"fetch too cheap", func(c *Config) { c.EDRAMAccessCycles = c.CacheAccessCycles }, "2x-10x"},
+		{"fetch too dear", func(c *Config) { c.EDRAMAccessCycles = 100 * c.CacheAccessCycles }, "2x-10x"},
+		{"energy inverted", func(c *Config) { c.EDRAMEnergyPJPerByte = 0.1 }, "energy"},
+		{"zero pfifo", func(c *Config) { c.PFIFODepth = 0 }, "PFIFODepth"},
+		{"negative hops", func(c *Config) { c.HopCycles = -1 }, "HopCycles"},
+		{"zero cycles per unit", func(c *Config) { c.CyclesPerTimeUnit = 0 }, "CyclesPerTimeUnit"},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := base
+			m.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate returned nil, want error")
+			}
+			if !strings.Contains(err.Error(), m.want) {
+				t.Errorf("error %q does not mention %q", err, m.want)
+			}
+		})
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if InCache.String() != "cache" || InEDRAM.String() != "edram" {
+		t.Errorf("Placement strings: %q, %q", InCache, InEDRAM)
+	}
+	if got := Placement(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown placement string = %q", got)
+	}
+}
+
+func TestAccessAndTransfer(t *testing.T) {
+	cfg := Neurocube(16)
+	if cfg.AccessCycles(InCache) != cfg.CacheAccessCycles {
+		t.Error("AccessCycles(InCache) mismatch")
+	}
+	if cfg.AccessCycles(InEDRAM) != cfg.EDRAMAccessCycles {
+		t.Error("AccessCycles(InEDRAM) mismatch")
+	}
+	if got := cfg.TransferTimeUnits(InCache); got != 1 {
+		t.Errorf("cache transfer units = %d, want 1 (4 cycles / 16 per unit, rounded up)", got)
+	}
+	if got := cfg.TransferTimeUnits(InEDRAM); got != 1 {
+		t.Errorf("edram transfer units = %d, want 1 (16 cycles / 16 per unit)", got)
+	}
+}
+
+func TestMoveEnergyAsymmetry(t *testing.T) {
+	cfg := Neurocube(16)
+	c := cfg.MoveEnergyPJ(InCache, 1024)
+	e := cfg.MoveEnergyPJ(InEDRAM, 1024)
+	if e <= c {
+		t.Errorf("eDRAM move energy %.1f <= cache %.1f; paper requires 2x-10x more", e, c)
+	}
+	if ratio := e / c; ratio < 2 || ratio > 10 {
+		t.Errorf("energy ratio %.2f outside [2,10]", ratio)
+	}
+}
+
+func TestTopologyGrid(t *testing.T) {
+	top, err := NewTopology(Neurocube(16))
+	if err != nil {
+		t.Fatalf("NewTopology: %v", err)
+	}
+	cols, rows := top.Dims()
+	if cols*rows != 16 || cols < rows {
+		t.Errorf("Dims = (%d,%d)", cols, rows)
+	}
+	if cols != 4 || rows != 4 {
+		t.Errorf("16 PEs should form a 4x4 grid, got %dx%d", cols, rows)
+	}
+	x, y := top.Coord(5)
+	if x != 1 || y != 1 {
+		t.Errorf("Coord(5) = (%d,%d), want (1,1)", x, y)
+	}
+	if d := top.Distance(0, 15); d != 6 {
+		t.Errorf("Distance(0,15) = %d, want 6", d)
+	}
+	if d := top.Distance(3, 3); d != 0 {
+		t.Errorf("Distance(v,v) = %d, want 0", d)
+	}
+}
+
+func TestTopologyRejectsInvalidConfig(t *testing.T) {
+	cfg := Neurocube(16)
+	cfg.NumPEs = 0
+	if _, err := NewTopology(cfg); err == nil {
+		t.Fatal("NewTopology accepted an invalid config")
+	}
+}
+
+func TestInterPEAndVaultLatency(t *testing.T) {
+	top, err := NewTopology(Neurocube(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := top.InterPELatency(3, 3); l != 0 {
+		t.Errorf("same-PE latency = %d, want 0", l)
+	}
+	if l := top.InterPELatency(3, 4); l != top.Config().HopCycles {
+		t.Errorf("cross-PE latency = %d, want %d", l, top.Config().HopCycles)
+	}
+	pe := PEID(5)
+	home := top.HomeVault(pe)
+	if l := top.VaultLatency(pe, home); l != top.Config().EDRAMAccessCycles {
+		t.Errorf("home vault latency = %d", l)
+	}
+	other := VaultID((int(home) + 1) % top.Config().NumVaults)
+	if l := top.VaultLatency(pe, other); l != top.Config().EDRAMAccessCycles+top.Config().HopCycles {
+		t.Errorf("remote vault latency = %d", l)
+	}
+}
+
+// Property: the grid always covers exactly NumPEs cells and distance is
+// a metric (symmetric, zero iff equal, triangle inequality).
+func TestTopologyDistanceMetricProperty(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw, cRaw uint8) bool {
+		n := int(nRaw%63) + 2
+		cfg := Neurocube(n)
+		top, err := NewTopology(cfg)
+		if err != nil {
+			return false
+		}
+		cols, rows := top.Dims()
+		if cols*rows != n {
+			return false
+		}
+		a := PEID(int(aRaw) % n)
+		b := PEID(int(bRaw) % n)
+		c := PEID(int(cRaw) % n)
+		dab, dba := top.Distance(a, b), top.Distance(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return top.Distance(a, c) <= dab+top.Distance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

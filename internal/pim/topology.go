@@ -1,0 +1,91 @@
+package pim
+
+import "fmt"
+
+// PEID identifies one processing engine, 0..NumPEs-1.
+type PEID int
+
+// VaultID identifies one DRAM vault, 0..NumVaults-1.
+type VaultID int
+
+// Topology captures the physical arrangement of the logic tier: PEs on
+// a square-ish grid joined by a crossbar, each PE column sharing a TSV
+// bundle with a home vault.  The evaluation uses a full crossbar
+// ("cross-bar interconnection", §4.1), so routing distance matters for
+// latency only via a single hop plus optional locality bonus; we still
+// model grid coordinates so inter-PE distance is well defined and a
+// mesh variant can reuse the type.
+type Topology struct {
+	cfg  Config
+	cols int
+	rows int
+}
+
+// NewTopology derives grid dimensions for the configured PE count:
+// the most square factorization with cols >= rows.
+func NewTopology(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("pim: invalid config: %w", err)
+	}
+	rows := 1
+	for r := 1; r*r <= cfg.NumPEs; r++ {
+		if cfg.NumPEs%r == 0 {
+			rows = r
+		}
+	}
+	return &Topology{cfg: cfg, cols: cfg.NumPEs / rows, rows: rows}, nil
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Dims returns the grid dimensions (cols, rows), cols >= rows.
+func (t *Topology) Dims() (cols, rows int) { return t.cols, t.rows }
+
+// Coord returns the grid coordinates of a PE.
+func (t *Topology) Coord(pe PEID) (x, y int) {
+	return int(pe) % t.cols, int(pe) / t.cols
+}
+
+// Distance returns the Manhattan distance between two PEs on the grid.
+// Under the crossbar this does not add latency beyond one hop, but the
+// simulator reports it as a locality statistic.
+func (t *Topology) Distance(a, b PEID) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// HomeVault returns the vault a PE reaches with the shortest TSV path;
+// PEs are distributed round-robin over vaults.
+func (t *Topology) HomeVault(pe PEID) VaultID {
+	return VaultID(int(pe) % t.cfg.NumVaults)
+}
+
+// InterPELatency returns the cycles to move data between two PEs
+// through the crossbar via oFIFO/iFIFO: zero when a == b, one hop
+// otherwise.
+func (t *Topology) InterPELatency(a, b PEID) int {
+	if a == b {
+		return 0
+	}
+	return t.cfg.HopCycles
+}
+
+// VaultLatency returns the cycles for a PE to fetch from the given
+// vault: the eDRAM access cost, plus a crossbar hop when the vault is
+// not the PE's home vault.
+func (t *Topology) VaultLatency(pe PEID, v VaultID) int {
+	lat := t.cfg.EDRAMAccessCycles
+	if t.HomeVault(pe) != v {
+		lat += t.cfg.HopCycles
+	}
+	return lat
+}

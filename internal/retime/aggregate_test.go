@@ -1,0 +1,104 @@
+package retime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pim"
+)
+
+func TestAggregateCopies(t *testing.T) {
+	// Two logical edges, two copies; worst case per placement.
+	classes := []EdgeClass{
+		{Edge: 0, RCache: 0, REDRAM: 1, Class: Case2}, // copy 0, edge 0
+		{Edge: 1, RCache: 1, REDRAM: 1, Class: Case4}, // copy 0, edge 1
+		{Edge: 2, RCache: 0, REDRAM: 2, Class: Case3}, // copy 1, edge 0
+		{Edge: 3, RCache: 0, REDRAM: 1, Class: Case2}, // copy 1, edge 1
+	}
+	agg, err := AggregateCopies(classes, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != 2 {
+		t.Fatalf("%d aggregated classes", len(agg))
+	}
+	if agg[0].RCache != 0 || agg[0].REDRAM != 2 || agg[0].Class != Case3 {
+		t.Errorf("edge 0 aggregate = %+v, want (0,2,case3)", agg[0])
+	}
+	if agg[1].RCache != 1 || agg[1].REDRAM != 1 || agg[1].Class != Case4 {
+		t.Errorf("edge 1 aggregate = %+v, want (1,1,case4)", agg[1])
+	}
+}
+
+func TestAggregateCopiesSingleCopy(t *testing.T) {
+	classes := []EdgeClass{{Edge: 0, RCache: 1, REDRAM: 2, Class: Case5}}
+	agg, err := AggregateCopies(classes, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg[0] != classes[0] {
+		t.Errorf("single-copy aggregate changed the class: %+v", agg[0])
+	}
+}
+
+func TestAggregateCopiesErrors(t *testing.T) {
+	if _, err := AggregateCopies(nil, 2, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := AggregateCopies([]EdgeClass{{}}, 1, 0); err == nil {
+		t.Error("zero copies accepted")
+	}
+	if _, err := AggregateCopies([]EdgeClass{{}}, -1, 1); err == nil {
+		t.Error("negative edge count accepted")
+	}
+}
+
+func TestExpandAssignment(t *testing.T) {
+	a := Assignment{pim.InCache, pim.InEDRAM}
+	x := ExpandAssignment(a, 3)
+	if len(x) != 6 {
+		t.Fatalf("expanded length %d", len(x))
+	}
+	for k := 0; k < 3; k++ {
+		if x[2*k] != pim.InCache || x[2*k+1] != pim.InEDRAM {
+			t.Errorf("copy %d mangled: %v", k, x[2*k:2*k+2])
+		}
+	}
+	// Mutating the expansion must not touch the original.
+	x[0] = pim.InEDRAM
+	if a[0] != pim.InCache {
+		t.Error("ExpandAssignment aliases its input")
+	}
+}
+
+func TestCaseHistogram(t *testing.T) {
+	classes := []EdgeClass{
+		{Class: Case1}, {Class: Case2}, {Class: Case2},
+		{Class: Case4}, {Class: Case5}, {Class: Case5}, {Class: Case5},
+	}
+	h := CaseHistogram(classes)
+	want := map[Case]int{Case1: 1, Case2: 2, Case4: 1, Case5: 3}
+	for c, n := range want {
+		if h[c] != n {
+			t.Errorf("case %v count = %d, want %d", c, h[c], n)
+		}
+	}
+	if h[Case3] != 0 || h[Case6] != 0 {
+		t.Error("phantom counts for unused cases")
+	}
+	if len(CaseHistogram(nil)) != 0 {
+		t.Error("empty histogram not empty")
+	}
+}
+
+func TestAnalyzeAssignmentErrorPaths(t *testing.T) {
+	g := chain(0, 1)
+	badTm := Timing{Start: []int{0}, Finish: []int{1}, Period: 1}
+	if _, _, err := AnalyzeAssignment(g, badTm, AllEDRAM(2)); err == nil {
+		t.Error("short timing accepted")
+	}
+	tm := compactTiming(3, 1)
+	if _, _, err := AnalyzeAssignment(g, tm, AllEDRAM(1)); err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Errorf("short assignment: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package retime
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Instance identifies one execution of a vertex: the vertex and the
+// application iteration it serves.
+type Instance struct {
+	Node dag.NodeID
+	Iter int
+}
+
+// ExecutionTable is the unfolding of a retimed schedule over kernel
+// rounds: Rounds[k] lists the vertex instances that execute in round
+// k.  Rounds 0..RMax-1 are the prologue (partially filled); from round
+// RMax on, every vertex executes exactly once per round (the steady
+// state), and round k completes application iteration k-RMax.
+type ExecutionTable struct {
+	RMax   int
+	Rounds [][]Instance
+}
+
+// Unfold expands a retiming result over the given number of steady-
+// state iterations: vertex v serving iteration ℓ executes in round
+// ℓ + RMax - R(v).  Instances beyond the last requested iteration are
+// omitted, so late rounds drain symmetrically to the prologue's fill.
+func Unfold(g *dag.Graph, res Result, iterations int) (*ExecutionTable, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("retime: Unfold(%d iterations); want >= 1", iterations)
+	}
+	if err := CheckLegal(g, res); err != nil {
+		return nil, err
+	}
+	table := &ExecutionTable{
+		RMax:   res.RMax,
+		Rounds: make([][]Instance, res.RMax+iterations),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for iter := 0; iter < iterations; iter++ {
+			k := iter + res.RMax - res.R[v]
+			table.Rounds[k] = append(table.Rounds[k], Instance{Node: dag.NodeID(v), Iter: iter})
+		}
+	}
+	return table, nil
+}
+
+// PrologueRounds returns the prologue portion of the table.
+func (t *ExecutionTable) PrologueRounds() [][]Instance { return t.Rounds[:t.RMax] }
+
+// SteadyRounds returns the post-prologue portion.
+func (t *ExecutionTable) SteadyRounds() [][]Instance { return t.Rounds[t.RMax:] }
+
+// InstanceCount returns the total number of vertex executions in the
+// table.
+func (t *ExecutionTable) InstanceCount() int {
+	n := 0
+	for _, r := range t.Rounds {
+		n += len(r)
+	}
+	return n
+}
+
+// Verify checks the structural invariants of the unfolding against
+// the graph and result it was built from:
+//
+//   - every (vertex, iteration) pair with iteration < iterations
+//     appears exactly once;
+//   - within the horizon, a producer instance's round precedes (or
+//     equals, for same-round cache forwarding) its consumer instance's
+//     round, with the gap matching R(i) - R(j);
+//   - steady rounds (those whose instances are unaffected by fill or
+//     drain) hold exactly |V| instances.
+func (t *ExecutionTable) Verify(g *dag.Graph, res Result, iterations int) error {
+	seen := make(map[Instance]int)
+	for k, round := range t.Rounds {
+		for _, inst := range round {
+			if _, dup := seen[inst]; dup {
+				return fmt.Errorf("retime: instance %+v appears twice", inst)
+			}
+			seen[inst] = k
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for iter := 0; iter < iterations; iter++ {
+			if _, ok := seen[Instance{Node: dag.NodeID(v), Iter: iter}]; !ok {
+				return fmt.Errorf("retime: vertex %d iteration %d never executes", v, iter)
+			}
+		}
+	}
+	for i := range g.Edges() {
+		e := g.Edge(dag.EdgeID(i))
+		for iter := 0; iter < iterations; iter++ {
+			kp, okP := seen[Instance{Node: e.From, Iter: iter}]
+			kc, okC := seen[Instance{Node: e.To, Iter: iter}]
+			if !okP || !okC {
+				continue
+			}
+			if gap := kc - kp; gap != res.R[e.From]-res.R[e.To] {
+				return fmt.Errorf("retime: edge %d->%d iteration %d: round gap %d != R(i)-R(j) %d",
+					e.From, e.To, iter, gap, res.R[e.From]-res.R[e.To])
+			}
+		}
+	}
+	// Fully steady rounds: k in [RMax, RMax+iterations-RMax) when the
+	// drain hasn't started, i.e. k such that every vertex has a live
+	// iteration index: RMax <= k < iterations (needs iterations >
+	// RMax to exist at all).
+	for k := res.RMax; k < iterations; k++ {
+		if len(t.Rounds[k]) != g.NumNodes() {
+			return fmt.Errorf("retime: steady round %d holds %d instances; want %d", k, len(t.Rounds[k]), g.NumNodes())
+		}
+	}
+	return nil
+}
+
+// Retimed returns a copy of the graph annotated with the retiming:
+// each vertex's Start is shifted by -R(v) iterations worth of period
+// (recorded in the Start field as a negative offset multiple of the
+// period for inspection), and the per-edge inter-iteration distance
+// (the rrv) is what the REdge slice records.  The structural graph is
+// unchanged — retiming moves computations across iterations, never
+// rewires dependencies.
+func Retimed(g *dag.Graph, res Result) (*dag.Graph, error) {
+	if err := CheckLegal(g, res); err != nil {
+		return nil, err
+	}
+	out := g.Clone()
+	for v := 0; v < out.NumNodes(); v++ {
+		out.Node(dag.NodeID(v)).Start -= res.R[v] * res.Period
+	}
+	return out, nil
+}

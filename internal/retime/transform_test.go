@@ -1,0 +1,149 @@
+package retime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestUnfoldChain(t *testing.T) {
+	g := chain(0, 1)
+	tm := compactTiming(3, 1)
+	res, _, err := AnalyzeAssignment(g, tm, AllEDRAM(g.NumEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = [4, 2, 0].
+	const iterations = 6
+	table, err := Unfold(g, res, iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rounds) != res.RMax+iterations {
+		t.Fatalf("rounds = %d, want %d", len(table.Rounds), res.RMax+iterations)
+	}
+	// Round 0 holds only the most-retimed vertex (vertex 0, R=4).
+	r0 := table.Rounds[0]
+	if len(r0) != 1 || r0[0].Node != 0 || r0[0].Iter != 0 {
+		t.Errorf("round 0 = %v, want [{0 0}]", r0)
+	}
+	// Round 2 holds vertex 0 (iter 2) and vertex 1 (iter 0).
+	r2 := table.Rounds[2]
+	if len(r2) != 2 {
+		t.Errorf("round 2 = %v", r2)
+	}
+	if err := table.Verify(g, res, iterations); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := table.InstanceCount(); got != 3*iterations {
+		t.Errorf("instance count = %d, want %d", got, 3*iterations)
+	}
+	if len(table.PrologueRounds()) != 4 {
+		t.Errorf("prologue rounds = %d, want 4", len(table.PrologueRounds()))
+	}
+	if len(table.SteadyRounds()) != iterations {
+		t.Errorf("steady rounds = %d, want %d", len(table.SteadyRounds()), iterations)
+	}
+}
+
+func TestUnfoldRejectsBadInput(t *testing.T) {
+	g := chain(0, 1)
+	tm := compactTiming(3, 1)
+	res, _, err := AnalyzeAssignment(g, tm, AllEDRAM(g.NumEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unfold(g, res, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad := res
+	bad.R = []int{0, 0, 0} // violates edge requirements
+	if _, err := Unfold(g, bad, 3); err == nil {
+		t.Error("illegal retiming accepted")
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	g := chain(0, 1)
+	tm := compactTiming(3, 1)
+	res, _, err := AnalyzeAssignment(g, tm, AllEDRAM(g.NumEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Unfold(g, res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move an instance to the wrong round.
+	moved := table.Rounds[2][0]
+	table.Rounds[2] = table.Rounds[2][1:]
+	table.Rounds[3] = append(table.Rounds[3], moved)
+	if err := table.Verify(g, res, 5); err == nil {
+		t.Error("tampered table verified cleanly")
+	}
+
+	// Duplicate an instance.
+	table2, _ := Unfold(g, res, 5)
+	table2.Rounds[1] = append(table2.Rounds[1], table2.Rounds[1][0])
+	if err := table2.Verify(g, res, 5); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate not caught: %v", err)
+	}
+}
+
+func TestRetimedShiftsStarts(t *testing.T) {
+	g := chain(0, 1)
+	tm := compactTiming(3, 2)
+	res, _, err := AnalyzeAssignment(g, tm, AllEDRAM(g.NumEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := Retimed(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		want := g.Node(dag.NodeID(v)).Start - res.R[v]*res.Period
+		if got := rg.Node(dag.NodeID(v)).Start; got != want {
+			t.Errorf("vertex %d start = %d, want %d", v, got, want)
+		}
+	}
+	// Structure unchanged.
+	if rg.NumEdges() != g.NumEdges() || rg.NumNodes() != g.NumNodes() {
+		t.Error("Retimed changed graph structure")
+	}
+	// Original untouched.
+	if g.Node(0).Start != 0 {
+		t.Error("Retimed mutated the input graph")
+	}
+}
+
+func TestRetimedRejectsIllegal(t *testing.T) {
+	g := chain(0, 1)
+	bad := Result{R: []int{0, 0, 0}, REdge: []int{2, 2}, Period: 1}
+	if _, err := Retimed(g, bad); err == nil {
+		t.Error("illegal retiming accepted")
+	}
+}
+
+// Property: Unfold + Verify succeed for every legal retiming produced
+// by the analysis on random graphs.
+func TestUnfoldVerifyProperty(t *testing.T) {
+	f := func(seed int64, itersRaw uint8) bool {
+		g, tm := randomTimedGraph(seed)
+		res, _, err := AnalyzeAssignment(g, tm, AllEDRAM(g.NumEdges()))
+		if err != nil {
+			return false
+		}
+		iterations := int(itersRaw%10) + 1
+		table, err := Unfold(g, res, iterations)
+		if err != nil {
+			return false
+		}
+		return table.Verify(g, res, iterations) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

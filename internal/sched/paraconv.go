@@ -1,0 +1,327 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/retime"
+)
+
+// transferWindowFactor sizes the minimum kernel period relative to the
+// largest eDRAM transfer time.  Theorem 3.1 only needs c_{i,j} <= p,
+// but a period that barely covers one transfer leaves no within-period
+// windows, forcing nearly every eDRAM edge to a dedicated prologue
+// iteration; keeping p >= 3x the largest transfer preserves usable
+// head/tail windows at every PE count (the group-unroll search
+// reclaims the idle capacity this would otherwise waste).
+const transferWindowFactor = 3
+
+// periodFloor returns the smallest admissible kernel period for the
+// graph: the largest execution time and transferWindowFactor times the
+// largest eDRAM transfer.
+func periodFloor(g *dag.Graph) int {
+	floor := g.MaxExec()
+	for i := range g.Edges() {
+		if t := transferWindowFactor * g.Edge(dag.EdgeID(i)).EDRAMTime; t > floor {
+			floor = t
+		}
+	}
+	return floor
+}
+
+// Objective builds Para-CONV's objective schedule (§3.3.3: "an initial
+// objective task schedule, which is known-priori"): the fully
+// compacted kernel.  Vertices are packed onto the PEs greedily in
+// topological order with no transfer stalls — the packing keeps
+// producers ahead of consumers wherever load balance allows, so a
+// cache-resident IPR usually flows to its consumer within the same
+// kernel round and only eDRAM placements pay prologue iterations;
+// retiming legalizes the residual violations.  The period is the
+// packing makespan, raised to the period floor so Theorem 3.1's
+// precondition holds with usable transfer windows.
+func Objective(g *dag.Graph, numPEs int) (IterationSchedule, error) {
+	if numPEs < 1 {
+		return IterationSchedule{}, fmt.Errorf("sched: %d PEs; want >= 1", numPEs)
+	}
+	if g.NumNodes() == 0 {
+		return IterationSchedule{}, fmt.Errorf("sched: empty graph %q", g.Name())
+	}
+	if err := g.Validate(); err != nil {
+		return IterationSchedule{}, err
+	}
+
+	order, err := g.TopoSort()
+	if err != nil {
+		return IterationSchedule{}, err
+	}
+
+	loads := make([]int, numPEs)
+	tasks := make([]Task, g.NumNodes())
+	for _, v := range order {
+		pe := 0
+		for i := 1; i < numPEs; i++ {
+			if loads[i] < loads[pe] {
+				pe = i
+			}
+		}
+		exec := g.Node(v).Exec
+		tasks[v] = Task{Node: v, PE: pim.PEID(pe), Start: loads[pe], Finish: loads[pe] + exec}
+		loads[pe] += exec
+	}
+	period := 0
+	for _, l := range loads {
+		if l > period {
+			period = l
+		}
+	}
+	if floor := periodFloor(g); floor > period {
+		period = floor
+	}
+	return IterationSchedule{
+		Graph:      g,
+		PEs:        numPEs,
+		Period:     period,
+		Tasks:      tasks,
+		Assignment: retime.AllEDRAM(g.NumEdges()),
+	}, nil
+}
+
+// packedMakespan computes the LPT makespan of the execution-time
+// multiset (already sorted descending) on numPEs PEs — the cheap inner
+// loop of the group search.
+func packedMakespan(execs []int, numPEs int) int {
+	loads := make([]int, numPEs)
+	for _, e := range execs {
+		pe := 0
+		for i := 1; i < numPEs; i++ {
+			if loads[i] < loads[pe] {
+				pe = i
+			}
+		}
+		loads[pe] += e
+	}
+	m := 0
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// chooseGroups picks how many identical PE groups the array is split
+// into.  One iteration of a small graph cannot fill a large array —
+// the period bottoms out at the floor — so Para-CONV replicates the
+// kernel across U equal groups of numPEs/U PEs, each running its own
+// iterations, and the steady-state cost per iteration becomes
+// period/U.  The search walks the divisors of numPEs, minimizing that
+// ratio while preferring the smallest U within 2% of the optimum
+// (fewer groups mean less filter-weight duplication and, for graphs
+// that already fill the array, U = 1: the paper's single-kernel
+// configuration).
+func chooseGroups(g *dag.Graph, numPEs int) int {
+	execs := make([]int, g.NumNodes())
+	for i := range g.Nodes() {
+		execs[i] = g.Nodes()[i].Exec
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(execs)))
+	floor := periodFloor(g)
+
+	type cand struct{ u, p int }
+	var cands []cand
+	bestU, bestP := 0, 0
+	for u := 1; u <= numPEs; u++ {
+		if numPEs%u != 0 {
+			continue
+		}
+		p := packedMakespan(execs, numPEs/u)
+		if p < floor {
+			p = floor
+		}
+		cands = append(cands, cand{u, p})
+		if bestU == 0 || p*bestU < bestP*u {
+			bestU, bestP = u, p
+		}
+	}
+	for _, c := range cands {
+		// c.p/c.u <= 1.02 * bestP/bestU, in integers.
+		if c.p*bestU*50 <= bestP*c.u*51 {
+			return c.u
+		}
+	}
+	return bestU
+}
+
+// ParaCONV runs the full Para-CONV pipeline on the graph for the given
+// PIM configuration: group selection, objective schedule, Figure-4
+// classification, optimal DP cache allocation under the group's cache
+// capacity, and the minimal legal retiming for the chosen allocation.
+// The returned plan's ConcurrentIterations field holds the group count
+// (iterations completed per kernel period).
+func ParaCONV(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: para-conv: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("sched: para-conv: empty graph %q", g.Name())
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return paraCONVKernel(g, cfg, chooseGroups(g, cfg.NumPEs))
+}
+
+// ParaCONVSingle runs Para-CONV with a single group spanning the whole
+// array — one application iteration per kernel, the configuration the
+// paper's motivational example uses.  Ablation benches compare it
+// against the adaptive ParaCONV.
+func ParaCONVSingle(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: para-conv: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("sched: para-conv: empty graph %q", g.Name())
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return paraCONVKernel(g, cfg, 1)
+}
+
+// ParaCONVGivenSchedule runs Para-CONV's allocation pipeline against
+// an objective schedule supplied by the caller.  §3.3.3 prescribes
+// exactly this: "Para-CONV first obtains an initial objective task
+// schedule, which is known a-priori" — the schedule is a property of
+// the periodically-executed application (its iteration period p and
+// per-operation start times/deadlines, §2.2), while the PIM
+// configuration enters the optimization only through the PE-array
+// cache capacity S that bounds the dynamic program.  Sweeping the
+// array size at a fixed schedule therefore isolates the capacity
+// effect: more PEs mean more aggregate cache, more IPRs promoted, and
+// a smaller maximum retiming value — the paper's Table 2 trend.
+func ParaCONVGivenSchedule(g *dag.Graph, iter IterationSchedule, cfg pim.Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: para-conv: %w", err)
+	}
+	if iter.Graph != g {
+		return nil, fmt.Errorf("sched: para-conv: schedule was built for a different graph")
+	}
+	if err := iter.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: para-conv: invalid objective schedule: %w", err)
+	}
+	tm := iter.Timing()
+	classes, err := retime.Classify(g, tm)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv classify: %w", err)
+	}
+	alloc, err := core.Optimize(g, classes, tm, cfg.TotalCacheUnits())
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
+	}
+	res, err := retime.Apply(g, classes, alloc.Assignment, tm.Period)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv retime: %w", err)
+	}
+	if err := retime.CheckLegal(g, res); err != nil {
+		return nil, fmt.Errorf("sched: para-conv produced illegal retiming: %w", err)
+	}
+	iter.Assignment = alloc.Assignment
+	return &Plan{
+		Scheme:               "para-conv",
+		Iter:                 iter,
+		ConcurrentIterations: 1,
+		RMax:                 res.RMax,
+		Retiming:             res,
+		LogicalRetiming:      res,
+		CachedIPRs:           alloc.CachedCount,
+		CacheLoadUnits:       alloc.CacheUsed,
+	}, nil
+}
+
+// paraCONVKernel builds the Para-CONV plan for a fixed group count
+// (which must divide cfg.NumPEs): one iteration of the application is
+// scheduled on a group of NumPEs/groups PEs, then replicated
+// symmetrically across the groups.  Every group has identical timing,
+// so the classification, the DP allocation (against the group's own
+// cache capacity — each group holds its own IPR instances) and the
+// retiming are computed once on the original graph.
+func paraCONVKernel(g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
+	if groups < 1 || cfg.NumPEs%groups != 0 {
+		return nil, fmt.Errorf("sched: para-conv: %d groups does not divide %d PEs", groups, cfg.NumPEs)
+	}
+	groupPEs := cfg.NumPEs / groups
+	iter, err := Objective(g, groupPEs)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv objective: %w", err)
+	}
+	tm := iter.Timing()
+	classes, err := retime.Classify(g, tm)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv classify: %w", err)
+	}
+	capacity := groupPEs * cfg.CacheUnitsPerPE
+	alloc, err := core.Optimize(g, classes, tm, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
+	}
+	res, err := retime.Apply(g, classes, alloc.Assignment, tm.Period)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv retime: %w", err)
+	}
+	if err := retime.CheckLegal(g, res); err != nil {
+		return nil, fmt.Errorf("sched: para-conv produced illegal retiming: %w", err)
+	}
+
+	// Replicate the group schedule across the array.
+	gu, err := dag.Replicate(g, groups)
+	if err != nil {
+		return nil, fmt.Errorf("sched: para-conv replicate: %w", err)
+	}
+	tasks := make([]Task, 0, gu.NumNodes())
+	for k := 0; k < groups; k++ {
+		for i := range iter.Tasks {
+			t := iter.Tasks[i]
+			t.Node += dag.NodeID(k * g.NumNodes())
+			t.PE += pim.PEID(k * groupPEs)
+			tasks = append(tasks, t)
+		}
+	}
+	full := IterationSchedule{
+		Graph:      gu,
+		PEs:        cfg.NumPEs,
+		Period:     iter.Period,
+		Tasks:      tasks,
+		Assignment: retime.ExpandAssignment(alloc.Assignment, groups),
+	}
+	return &Plan{
+		Scheme:               "para-conv",
+		Iter:                 full,
+		ConcurrentIterations: groups,
+		RMax:                 res.RMax,
+		Retiming:             expandRetiming(res, groups),
+		LogicalRetiming:      res,
+		CachedIPRs:           alloc.CachedCount,
+		CacheLoadUnits:       groups * alloc.CacheUsed,
+	}, nil
+}
+
+// expandRetiming replicates a single-group retiming result onto the
+// replicated kernel graph: every group's copy of vertex v inherits
+// R(v) and every copy of edge e inherits its required rrv.  Legality
+// carries over because the groups' schedules are identical.
+func expandRetiming(res retime.Result, groups int) retime.Result {
+	out := retime.Result{
+		R:      make([]int, 0, len(res.R)*groups),
+		REdge:  make([]int, 0, len(res.REdge)*groups),
+		RMax:   res.RMax,
+		Period: res.Period,
+	}
+	for k := 0; k < groups; k++ {
+		out.R = append(out.R, res.R...)
+		out.REdge = append(out.REdge, res.REdge...)
+	}
+	return out
+}

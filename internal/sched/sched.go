@@ -1,0 +1,233 @@
+// Package sched builds executable schedules for CNN task graphs on the
+// PIM PE array: the Para-CONV software-pipelined schedule (paper §3)
+// and the SPARTA baseline [6] it is evaluated against (§4).
+//
+// Para-CONV produces a compact steady-state kernel: vertices are
+// packed onto PEs ignoring intra-iteration dependencies (retiming
+// turns them into inter-iteration dependencies), yielding an iteration
+// period close to the rate-optimal bound max(⌈Σc_i/P⌉, max c_i).  The
+// price is a prologue of R_max iterations that pre-executes retimed
+// operations; Para-CONV's DP allocator (internal/core) minimizes that
+// price under the cache capacity.
+//
+// SPARTA is a throughput-aware runtime task allocator for many-core
+// platforms: it characterizes tasks from sensor observations (here:
+// their measured execution times and traffic volumes), prioritizes
+// them, and list-schedules each iteration respecting all intra-
+// iteration dependencies — no retiming, no software pipelining.  It
+// exploits iteration-level parallelism instead, running independent
+// iterations on disjoint PE groups, with the group size chosen for
+// maximum throughput.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/retime"
+)
+
+// Task is one vertex's placement in an iteration schedule.
+type Task struct {
+	Node   dag.NodeID
+	PE     pim.PEID
+	Start  int
+	Finish int
+}
+
+// IterationSchedule is the schedule of a single iteration of the task
+// graph on a PE group.
+type IterationSchedule struct {
+	// Graph is the scheduled task graph.
+	Graph *dag.Graph
+	// PEs is the number of processing engines the iteration uses.
+	PEs int
+	// Period is the iteration interval: for Para-CONV, the kernel
+	// length after which the next iteration starts; for SPARTA, the
+	// iteration makespan.
+	Period int
+	// Tasks is indexed by dag.NodeID.
+	Tasks []Task
+	// Assignment places every IPR in cache or eDRAM.
+	Assignment retime.Assignment
+}
+
+// Timing projects the schedule into the form the retiming analysis
+// consumes.
+func (s *IterationSchedule) Timing() retime.Timing {
+	tm := retime.Timing{
+		Start:  make([]int, len(s.Tasks)),
+		Finish: make([]int, len(s.Tasks)),
+		Period: s.Period,
+	}
+	for i := range s.Tasks {
+		tm.Start[i] = s.Tasks[i].Start
+		tm.Finish[i] = s.Tasks[i].Finish
+	}
+	return tm
+}
+
+// Validate checks structural soundness: every vertex scheduled exactly
+// once, task windows inside [0, Period], durations matching Exec, PEs
+// in range, and no two tasks overlapping on one PE.  It does NOT check
+// dependencies — Para-CONV kernels intentionally break intra-iteration
+// ordering (retiming legality is checked separately via
+// retime.CheckLegal), while SPARTA schedules check them with
+// CheckDependencies.
+func (s *IterationSchedule) Validate() error {
+	var errs []error
+	if s.Graph == nil {
+		return errors.New("sched: schedule has no graph")
+	}
+	if len(s.Tasks) != s.Graph.NumNodes() {
+		return fmt.Errorf("sched: %d tasks for %d vertices", len(s.Tasks), s.Graph.NumNodes())
+	}
+	if s.Period < 1 {
+		errs = append(errs, fmt.Errorf("sched: period %d; want >= 1", s.Period))
+	}
+	if len(s.Assignment) != s.Graph.NumEdges() {
+		errs = append(errs, fmt.Errorf("sched: assignment covers %d/%d edges", len(s.Assignment), s.Graph.NumEdges()))
+	}
+	byPE := make(map[pim.PEID][]Task)
+	for i := range s.Tasks {
+		t := s.Tasks[i]
+		if t.Node != dag.NodeID(i) {
+			errs = append(errs, fmt.Errorf("sched: task %d carries node id %d", i, t.Node))
+		}
+		if t.PE < 0 || int(t.PE) >= s.PEs {
+			errs = append(errs, fmt.Errorf("sched: task %d on PE %d; want in [0,%d)", i, t.PE, s.PEs))
+		}
+		if t.Start < 0 || t.Finish > s.Period {
+			errs = append(errs, fmt.Errorf("sched: task %d window [%d,%d] outside [0,%d]", i, t.Start, t.Finish, s.Period))
+		}
+		if got, want := t.Finish-t.Start, s.Graph.Node(dag.NodeID(i)).Exec; got != want {
+			errs = append(errs, fmt.Errorf("sched: task %d duration %d; Exec is %d", i, got, want))
+		}
+		byPE[t.PE] = append(byPE[t.PE], t)
+	}
+	for pe, tasks := range byPE {
+		sort.Slice(tasks, func(a, b int) bool { return tasks[a].Start < tasks[b].Start })
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i].Start < tasks[i-1].Finish {
+				errs = append(errs, fmt.Errorf("sched: PE %d: tasks %d and %d overlap ([%d,%d] vs [%d,%d])",
+					pe, tasks[i-1].Node, tasks[i].Node,
+					tasks[i-1].Start, tasks[i-1].Finish, tasks[i].Start, tasks[i].Finish))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckDependencies verifies that every edge's consumer starts no
+// earlier than its producer's finish plus the transfer time of the
+// chosen placement — the discipline SPARTA schedules must satisfy
+// within one iteration.
+func (s *IterationSchedule) CheckDependencies() error {
+	var errs []error
+	for i := range s.Graph.Edges() {
+		e := s.Graph.Edge(dag.EdgeID(i))
+		transfer := e.CacheTime
+		if len(s.Assignment) == s.Graph.NumEdges() && s.Assignment[i] == pim.InEDRAM {
+			transfer = e.EDRAMTime
+		}
+		ready := s.Tasks[e.From].Finish + transfer
+		if s.Tasks[e.To].Start < ready {
+			errs = append(errs, fmt.Errorf("sched: edge %d->%d: consumer starts %d before data ready %d",
+				e.From, e.To, s.Tasks[e.To].Start, ready))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// PELoads returns the busy time of each PE in the iteration.
+func (s *IterationSchedule) PELoads() []int {
+	loads := make([]int, s.PEs)
+	for i := range s.Tasks {
+		loads[s.Tasks[i].PE] += s.Tasks[i].Finish - s.Tasks[i].Start
+	}
+	return loads
+}
+
+// Utilization returns the fraction of PE-time spent computing within
+// the iteration period.
+func (s *IterationSchedule) Utilization() float64 {
+	if s.PEs == 0 || s.Period == 0 {
+		return 0
+	}
+	busy := 0
+	for _, l := range s.PELoads() {
+		busy += l
+	}
+	return float64(busy) / float64(s.PEs*s.Period)
+}
+
+// Plan is a complete execution plan for an application: how one
+// iteration is scheduled, how iterations compose over time, and the
+// retiming cost.
+type Plan struct {
+	// Scheme names the scheduler that produced the plan
+	// ("para-conv" or "sparta").
+	Scheme string
+	// Iter is the schedule of a single iteration.
+	Iter IterationSchedule
+	// ConcurrentIterations is the number of independent iterations in
+	// flight (SPARTA's PE-group replication; 1 for Para-CONV, whose
+	// parallelism lives inside the kernel).
+	ConcurrentIterations int
+	// RMax is the maximum retiming value (0 for SPARTA).
+	RMax int
+	// Retiming carries the per-vertex retiming result expanded to the
+	// kernel graph Iter.Graph (zero value for SPARTA).
+	Retiming retime.Result
+	// LogicalRetiming is the retiming result on the original
+	// (un-unrolled) application graph for Para-CONV plans.
+	LogicalRetiming retime.Result
+	// CachedIPRs is the number of logical intermediate processing
+	// results placed in on-chip cache (Figure 6's metric).
+	CachedIPRs int
+	// CacheLoadUnits is the cache capacity those IPRs occupy; each
+	// logical IPR holds one slot that successive iterations reuse.
+	CacheLoadUnits int
+}
+
+// PrologueTime returns the preprocessing time R_max x p before the
+// steady-state kernel (0 for SPARTA).
+func (p *Plan) PrologueTime() int { return p.RMax * p.Iter.Period }
+
+// TotalTime returns the end-to-end execution time of `iterations`
+// iterations of the application: prologue plus steady-state, with
+// concurrent iteration groups amortizing SPARTA's makespan.
+func (p *Plan) TotalTime(iterations int) int {
+	if iterations <= 0 {
+		return 0
+	}
+	groups := p.ConcurrentIterations
+	if groups < 1 {
+		groups = 1
+	}
+	rounds := (iterations + groups - 1) / groups
+	return p.PrologueTime() + rounds*p.Iter.Period
+}
+
+// Throughput returns iterations completed per unit time over a run of
+// the given length.
+func (p *Plan) Throughput(iterations int) float64 {
+	t := p.TotalTime(iterations)
+	if t == 0 {
+		return 0
+	}
+	return float64(iterations) / float64(t)
+}
+
+// IterationTime returns the effective per-iteration execution time in
+// steady state: the period divided by the iterations in flight.
+func (p *Plan) IterationTime() float64 {
+	groups := p.ConcurrentIterations
+	if groups < 1 {
+		groups = 1
+	}
+	return float64(p.Iter.Period) / float64(groups)
+}

@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/sched"
+)
+
+// EventKind tags one simulation event.
+type EventKind uint8
+
+const (
+	// EvTaskStart and EvTaskEnd bracket one vertex instance's
+	// execution on a PE.
+	EvTaskStart EventKind = iota
+	EvTaskEnd
+	// EvTransferStart and EvTransferEnd bracket one IPR transfer
+	// (cache forward or eDRAM round trip).
+	EvTransferStart
+	EvTransferEnd
+	// EvIterationDone marks the completion of one application
+	// iteration (all its sinks executed).
+	EvIterationDone
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvTaskStart:
+		return "task-start"
+	case EvTaskEnd:
+		return "task-end"
+	case EvTransferStart:
+		return "xfer-start"
+	case EvTransferEnd:
+		return "xfer-end"
+	case EvIterationDone:
+		return "iter-done"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one timestamped simulation event.
+type Event struct {
+	Time int
+	Kind EventKind
+	// PE is set for task events.
+	PE pim.PEID
+	// Node is the vertex (task events) indexed into the kernel graph.
+	Node dag.NodeID
+	// Edge is the IPR (transfer events) indexed into the kernel graph.
+	Edge dag.EdgeID
+	// Iter is the application iteration the event serves.
+	Iter int
+	// Place is the IPR's placement (transfer events).
+	Place pim.Placement
+}
+
+// Trace is the full event log of a simulation run plus derived
+// resource-usage profiles.
+type Trace struct {
+	Events []Event
+
+	// PeakConcurrentEDRAM is the maximum number of eDRAM transfers in
+	// flight at any time unit — compare against the vault count to
+	// judge TSV contention.
+	PeakConcurrentEDRAM int
+
+	// PeakLiveCachedIPRs is the maximum number of cached IPR
+	// instances simultaneously live (produced but not yet consumed);
+	// with statically reserved slots this is bounded by the slot
+	// count times the instances a slot must hold (Theorem 3.1: ≤ 3).
+	PeakLiveCachedIPRs int
+
+	// PEBusy is the total busy time per PE over the run, derived from
+	// the task events; the spread across entries shows load balance.
+	PEBusy []int
+}
+
+// BusySpread returns max(PEBusy) - min(PEBusy), the load imbalance in
+// time units (0 for an empty trace).
+func (tr *Trace) BusySpread() int {
+	if len(tr.PEBusy) == 0 {
+		return 0
+	}
+	min, max := tr.PEBusy[0], tr.PEBusy[0]
+	for _, b := range tr.PEBusy[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max - min
+}
+
+// TraceRun simulates the plan event by event for `iterations`
+// application iterations, emitting the full event log.  It performs
+// the same legality checks as Run (and returns the same Stats), but
+// derives everything from the generated events rather than closed
+// forms — the two paths cross-check each other in tests.
+//
+// The event volume is proportional to iterations x (|V|+|E|), so use
+// modest iteration counts (the steady state repeats exactly).
+func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	if plan == nil {
+		return Stats{}, nil, fmt.Errorf("sim: nil plan")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, nil, fmt.Errorf("sim: %w", err)
+	}
+	if iterations < 1 {
+		return Stats{}, nil, fmt.Errorf("sim: %d iterations; want >= 1", iterations)
+	}
+	if err := plan.Iter.Validate(); err != nil {
+		return Stats{}, nil, fmt.Errorf("sim: invalid iteration schedule: %w", err)
+	}
+	if err := checkCacheCapacity(plan, cfg); err != nil {
+		return Stats{}, nil, err
+	}
+	switch plan.Scheme {
+	case "para-conv":
+		return tracePipelined(plan, cfg, iterations)
+	case "sparta", "naive":
+		return traceSequential(plan, cfg, iterations)
+	default:
+		return Stats{}, nil, fmt.Errorf("sim: unknown scheme %q", plan.Scheme)
+	}
+}
+
+// traceSequential replays back-to-back iterations of a dependency-
+// complete schedule.
+func traceSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	g := plan.Iter.Graph
+	if err := plan.Iter.CheckDependencies(); err != nil {
+		return Stats{}, nil, fmt.Errorf("sim: sequential plan violates dependencies: %w", err)
+	}
+	p := plan.Iter.Period
+	tr := &Trace{}
+	for it := 0; it < iterations; it++ {
+		base := it * p
+		for i := range plan.Iter.Tasks {
+			t := plan.Iter.Tasks[i]
+			tr.Events = append(tr.Events,
+				Event{Time: base + t.Start, Kind: EvTaskStart, PE: t.PE, Node: t.Node, Iter: it},
+				Event{Time: base + t.Finish, Kind: EvTaskEnd, PE: t.PE, Node: t.Node, Iter: it})
+		}
+		for i := range g.Edges() {
+			e := g.Edge(dag.EdgeID(i))
+			place := plan.Iter.Assignment[i]
+			dur := e.CacheTime
+			if place == pim.InEDRAM {
+				dur = e.EDRAMTime
+			}
+			start := base + plan.Iter.Tasks[e.From].Finish
+			tr.Events = append(tr.Events,
+				Event{Time: start, Kind: EvTransferStart, Edge: e.ID, Iter: it, Place: place},
+				Event{Time: start + dur, Kind: EvTransferEnd, Edge: e.ID, Iter: it, Place: place})
+		}
+		tr.Events = append(tr.Events, Event{Time: base + p, Kind: EvIterationDone, Iter: it})
+	}
+	finalize(tr)
+	stats, err := runSequential(plan, cfg, iterations)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	return stats, tr, nil
+}
+
+// tracePipelined replays the retimed kernel: after a prologue of RMax
+// rounds, each kernel round completes ConcurrentIterations application
+// iterations.  The instance of vertex v serving logical iteration ℓ
+// runs in round ℓ + RMax - R(v); transfers are placed inside the
+// windows the Theorem 3.1 discipline guarantees.
+func tracePipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	g := plan.Iter.Graph
+	r := plan.Retiming
+	if len(r.R) != g.NumNodes() || len(r.REdge) != g.NumEdges() {
+		return Stats{}, nil, fmt.Errorf("sim: plan retiming covers %d vertices/%d edges; want %d/%d",
+			len(r.R), len(r.REdge), g.NumNodes(), g.NumEdges())
+	}
+	p := plan.Iter.Period
+	kernelIters := plan.ConcurrentIterations
+	if kernelIters < 1 {
+		kernelIters = 1
+	}
+	rounds := (iterations + kernelIters - 1) / kernelIters
+	totalRounds := r.RMax + rounds
+	tm := plan.Iter.Timing()
+
+	tr := &Trace{}
+	// Task events: vertex v in round k serves iteration k - RMax +
+	// R(v) of its kernel slot (each kernel slot is an independent
+	// iteration stream when the kernel packs several groups/unroll
+	// copies; we report the stream-local iteration index).
+	for k := 0; k < totalRounds; k++ {
+		base := k * p
+		for i := range plan.Iter.Tasks {
+			t := plan.Iter.Tasks[i]
+			iter := k - r.RMax + r.R[t.Node]
+			if iter < 0 || iter >= rounds {
+				continue // not yet started, or past the run's horizon
+			}
+			tr.Events = append(tr.Events,
+				Event{Time: base + t.Start, Kind: EvTaskStart, PE: t.PE, Node: t.Node, Iter: iter},
+				Event{Time: base + t.Finish, Kind: EvTaskEnd, PE: t.PE, Node: t.Node, Iter: iter})
+		}
+	}
+
+	// Transfer events: edge (i,j) for iteration ℓ moves data from the
+	// producer instance (round ℓ+RMax-R(i)) to the consumer instance
+	// (round ℓ+RMax-R(j)).  Placement within the gap follows the
+	// non-straddling window discipline; any misfit is a hard error.
+	for i := range g.Edges() {
+		e := g.Edge(dag.EdgeID(i))
+		place := plan.Iter.Assignment[i]
+		dur := e.CacheTime
+		if place == pim.InEDRAM {
+			dur = e.EDRAMTime
+		}
+		gap := r.R[e.From] - r.R[e.To]
+		if gap < 0 {
+			return Stats{}, nil, fmt.Errorf("sim: edge %d->%d has negative retiming gap", e.From, e.To)
+		}
+		for iter := 0; iter < rounds; iter++ {
+			prodRound := iter + r.RMax - r.R[e.From]
+			consRound := iter + r.RMax - r.R[e.To]
+			start, ok := placeTransfer(dur, tm.Finish[e.From], tm.Start[e.To], p, gap, prodRound, consRound)
+			if !ok {
+				return Stats{}, nil, fmt.Errorf("sim: edge %d->%d iteration %d: transfer %d does not fit gap %d (finish %d, start %d, period %d)",
+					e.From, e.To, iter, dur, gap, tm.Finish[e.From], tm.Start[e.To], p)
+			}
+			tr.Events = append(tr.Events,
+				Event{Time: start, Kind: EvTransferStart, Edge: e.ID, Iter: iter, Place: place},
+				Event{Time: start + dur, Kind: EvTransferEnd, Edge: e.ID, Iter: iter, Place: place})
+		}
+	}
+
+	// Iteration completions: iteration ℓ's last instance runs in
+	// round ℓ + RMax (its sinks, R=0).
+	for iter := 0; iter < rounds; iter++ {
+		tr.Events = append(tr.Events, Event{Time: (iter + r.RMax + 1) * p, Kind: EvIterationDone, Iter: iter})
+	}
+	finalize(tr)
+
+	stats, err := runPipelined(plan, cfg, iterations)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	return stats, tr, nil
+}
+
+// placeTransfer picks the deterministic start time of a transfer under
+// the non-straddling window discipline and reports whether it fits.
+// prodRound/consRound are the absolute kernel rounds of the producer
+// and consumer instances.
+func placeTransfer(dur, finish, start, period, gap, prodRound, consRound int) (int, bool) {
+	switch {
+	case gap == 0:
+		// Same round: between producer finish and consumer start.
+		if finish+dur <= start {
+			return prodRound*period + finish, true
+		}
+		return 0, false
+	case gap == 1:
+		// Producer round's tail, else consumer round's head.
+		if dur <= period-finish {
+			return prodRound*period + finish, true
+		}
+		if dur <= start {
+			return consRound*period + start - dur, true
+		}
+		return 0, false
+	default:
+		// A dedicated intermediate round.
+		if dur <= period {
+			return (prodRound + 1) * period, true
+		}
+		return 0, false
+	}
+}
+
+// finalize sorts the event log and computes the resource profiles.
+func finalize(tr *Trace) {
+	sort.SliceStable(tr.Events, func(a, b int) bool {
+		if tr.Events[a].Time != tr.Events[b].Time {
+			return tr.Events[a].Time < tr.Events[b].Time
+		}
+		// Ends before starts at the same instant, so occupancy
+		// profiles are tight.
+		return tr.Events[a].Kind > tr.Events[b].Kind
+	})
+	edram, live := 0, 0
+	taskStart := make(map[[2]int]int)
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case EvTaskStart:
+			taskStart[[2]int{int(ev.Node), ev.Iter}] = ev.Time
+		case EvTaskEnd:
+			key := [2]int{int(ev.Node), ev.Iter}
+			if s, ok := taskStart[key]; ok {
+				for int(ev.PE) >= len(tr.PEBusy) {
+					tr.PEBusy = append(tr.PEBusy, 0)
+				}
+				tr.PEBusy[ev.PE] += ev.Time - s
+				delete(taskStart, key)
+			}
+		case EvTransferStart:
+			if ev.Place == pim.InEDRAM {
+				edram++
+				if edram > tr.PeakConcurrentEDRAM {
+					tr.PeakConcurrentEDRAM = edram
+				}
+			} else {
+				live++
+				if live > tr.PeakLiveCachedIPRs {
+					tr.PeakLiveCachedIPRs = live
+				}
+			}
+		case EvTransferEnd:
+			if ev.Place == pim.InEDRAM {
+				edram--
+			} else {
+				live--
+			}
+		}
+	}
+}
+
+// TaskEvents returns the trace's task events for one vertex, in time
+// order — a convenience for tests and debugging.
+func (tr *Trace) TaskEvents(v dag.NodeID) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if (ev.Kind == EvTaskStart || ev.Kind == EvTaskEnd) && ev.Node == v {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// IterationSpan returns the first task-start and the iteration-done
+// time of one application iteration, or ok=false if the iteration is
+// not in the trace.
+func (tr *Trace) IterationSpan(iter int) (start, done int, ok bool) {
+	start, done = -1, -1
+	for _, ev := range tr.Events {
+		if ev.Iter != iter {
+			continue
+		}
+		switch ev.Kind {
+		case EvTaskStart:
+			if start == -1 || ev.Time < start {
+				start = ev.Time
+			}
+		case EvIterationDone:
+			done = ev.Time
+		}
+	}
+	return start, done, start >= 0 && done >= 0
+}

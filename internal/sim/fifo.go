@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/sched"
+)
+
+// FIFOProfile reports the occupancy the iFIFO/oFIFO buffers would see
+// under a traced run: while an IPR transfer is in flight it holds one
+// entry in the producer PE's oFIFO and one in the consumer PE's iFIFO
+// (cached IPRs park in the data cache, not the FIFOs, and their
+// forwards are instantaneous).  The configured depths (pim.Config)
+// bound what the hardware can buffer; occupancy beyond them means the
+// schedule would stall on back-pressure in silicon.
+type FIFOProfile struct {
+	// PeakIn and PeakOut are the maximum simultaneous entries
+	// observed in any PE's input/output FIFO.
+	PeakIn  int
+	PeakOut int
+	// PerPEIn and PerPEOut give the per-PE peaks.
+	PerPEIn  []int
+	PerPEOut []int
+}
+
+// WithinDepths reports whether the observed peaks fit the configured
+// buffer depths.
+func (f FIFOProfile) WithinDepths(cfg pim.Config) bool {
+	return f.PeakIn <= cfg.IFIFODepth && f.PeakOut <= cfg.OFIFODepth
+}
+
+// FIFOOccupancy derives the FIFO occupancy profile of a traced plan.
+// It needs the plan (for the task placement) and the trace produced by
+// TraceRun for the same plan and horizon.
+func FIFOOccupancy(plan *sched.Plan, tr *Trace) (FIFOProfile, error) {
+	if plan == nil || tr == nil {
+		return FIFOProfile{}, fmt.Errorf("sim: FIFOOccupancy needs a plan and a trace")
+	}
+	g := plan.Iter.Graph
+	numPEs := plan.Iter.PEs
+
+	// Build per-PE occupancy deltas on a sparse timeline: each
+	// in-flight transfer (start to start+duration) holds one entry at
+	// both endpoints' FIFOs.  Instantaneous cached forwards never
+	// touch the FIFOs.
+	type delta struct {
+		t, d int
+	}
+	inDeltas := make([][]delta, numPEs)
+	outDeltas := make([][]delta, numPEs)
+
+	for _, ev := range tr.Events {
+		if ev.Kind != EvTransferStart {
+			continue
+		}
+		e := g.Edge(ev.Edge)
+		prodPE := plan.Iter.Tasks[e.From].PE
+		consPE := plan.Iter.Tasks[e.To].PE
+		dur := e.CacheTime
+		if ev.Place == pim.InEDRAM {
+			dur = e.EDRAMTime
+		}
+		if dur == 0 {
+			continue
+		}
+		outDeltas[prodPE] = append(outDeltas[prodPE], delta{ev.Time, +1}, delta{ev.Time + dur, -1})
+		inDeltas[consPE] = append(inDeltas[consPE], delta{ev.Time, +1}, delta{ev.Time + dur, -1})
+	}
+
+	prof := FIFOProfile{
+		PerPEIn:  make([]int, numPEs),
+		PerPEOut: make([]int, numPEs),
+	}
+	peak := func(ds []delta) int {
+		// Counting sort by time would need bounds; timeline is small,
+		// so sort via simple insertion over a map of time->net delta.
+		net := make(map[int]int)
+		times := make([]int, 0, len(ds))
+		for _, d := range ds {
+			if _, seen := net[d.t]; !seen {
+				times = append(times, d.t)
+			}
+			net[d.t] += d.d
+		}
+		// Insertion sort (timelines per PE are short).
+		for i := 1; i < len(times); i++ {
+			for j := i; j > 0 && times[j] < times[j-1]; j-- {
+				times[j], times[j-1] = times[j-1], times[j]
+			}
+		}
+		occ, max := 0, 0
+		for _, t := range times {
+			occ += net[t]
+			if occ > max {
+				max = occ
+			}
+		}
+		return max
+	}
+	for pe := 0; pe < numPEs; pe++ {
+		prof.PerPEIn[pe] = peak(inDeltas[pe])
+		prof.PerPEOut[pe] = peak(outDeltas[pe])
+		if prof.PerPEIn[pe] > prof.PeakIn {
+			prof.PeakIn = prof.PerPEIn[pe]
+		}
+		if prof.PerPEOut[pe] > prof.PeakOut {
+			prof.PeakOut = prof.PerPEOut[pe]
+		}
+	}
+	return prof, nil
+}

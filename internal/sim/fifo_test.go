@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+	"repro/internal/sched"
+)
+
+func TestFIFOOccupancyParaCONV(t *testing.T) {
+	g := synthGraph(t, 50, 120, 23)
+	cfg := pim.Neurocube(16)
+	plan, err := sched.ParaCONV(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := TraceRun(plan, cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := FIFOOccupancy(plan, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.PerPEIn) != plan.Iter.PEs || len(prof.PerPEOut) != plan.Iter.PEs {
+		t.Fatalf("per-PE slices sized %d/%d", len(prof.PerPEIn), len(prof.PerPEOut))
+	}
+	for pe, v := range prof.PerPEIn {
+		if v < 0 || v > prof.PeakIn {
+			t.Errorf("PE %d iFIFO peak %d inconsistent with global %d", pe, v, prof.PeakIn)
+		}
+	}
+	for pe, v := range prof.PerPEOut {
+		if v < 0 || v > prof.PeakOut {
+			t.Errorf("PE %d oFIFO peak %d inconsistent with global %d", pe, v, prof.PeakOut)
+		}
+	}
+	// The Neurocube FIFO depths should comfortably hold the profile —
+	// the schedule was built for this architecture.
+	if !prof.WithinDepths(cfg) {
+		t.Errorf("profile (in %d, out %d) exceeds configured depths (%d, %d)",
+			prof.PeakIn, prof.PeakOut, cfg.IFIFODepth, cfg.OFIFODepth)
+	}
+}
+
+func TestFIFOOccupancySPARTA(t *testing.T) {
+	g := synthGraph(t, 40, 100, 29)
+	cfg := pim.Neurocube(8)
+	plan, err := sched.SPARTA(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := TraceRun(plan, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := FIFOOccupancy(plan, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.PeakIn < 0 || prof.PeakOut < 0 {
+		t.Error("negative peaks")
+	}
+}
+
+func TestFIFOOccupancyErrors(t *testing.T) {
+	if _, err := FIFOOccupancy(nil, &Trace{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := FIFOOccupancy(&sched.Plan{}, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestFIFOWithinDepths(t *testing.T) {
+	cfg := pim.Neurocube(4)
+	ok := FIFOProfile{PeakIn: cfg.IFIFODepth, PeakOut: cfg.OFIFODepth}
+	if !ok.WithinDepths(cfg) {
+		t.Error("at-capacity profile rejected")
+	}
+	over := FIFOProfile{PeakIn: cfg.IFIFODepth + 1}
+	if over.WithinDepths(cfg) {
+		t.Error("over-capacity profile accepted")
+	}
+}

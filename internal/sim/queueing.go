@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/retime"
+)
+
+// QueueStats reports an arrival-driven execution: inference requests
+// arrive every `interval` time units and queue until the window
+// admits them; the latency of a request is completion minus arrival.
+type QueueStats struct {
+	Iterations int
+	Interval   int
+	// MeanLatency, P95Latency and MaxLatency summarize request
+	// latencies in time units.
+	MeanLatency float64
+	P95Latency  int
+	MaxLatency  int
+	// Makespan is the completion time of the last request.
+	Makespan int
+}
+
+// Queueing executes `iterations` requests arriving every `interval`
+// time units under self-timed dataflow dispatch with the given IPR
+// placement and pipelining window, and reports latency statistics.
+// An interval below the sustainable service time makes latencies grow
+// linearly (the queue diverges); above it, latency settles at the
+// pipeline traversal time — the knee locates the system's capacity.
+func Queueing(g *dag.Graph, cfg pim.Config, assignment retime.Assignment, interval, iterations, window int) (QueueStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return QueueStats{}, fmt.Errorf("sim: queueing: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return QueueStats{}, fmt.Errorf("sim: queueing: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return QueueStats{}, fmt.Errorf("sim: queueing: empty graph")
+	}
+	if len(assignment) != g.NumEdges() {
+		return QueueStats{}, fmt.Errorf("sim: queueing: assignment covers %d/%d edges", len(assignment), g.NumEdges())
+	}
+	if interval < 0 || iterations < 1 || window < 1 {
+		return QueueStats{}, fmt.Errorf("sim: queueing: interval %d, iterations %d, window %d", interval, iterations, window)
+	}
+
+	n := g.NumNodes()
+	transfer := func(eid dag.EdgeID) int {
+		e := g.Edge(eid)
+		if assignment[eid] == pim.InCache {
+			return e.CacheTime
+		}
+		return e.EDRAMTime
+	}
+
+	slots := make([]iterSlot, window)
+	started, completed := 0, 0
+	latencies := make([]int, iterations)
+
+	var events dynHeap
+	var readyQ []dynEvent
+	peFree := make([]int, cfg.NumPEs)
+	makespan := 0
+
+	admit := func(now int) {
+		for started < iterations && started-completed < window && started*interval <= now {
+			slot := &slots[started%window]
+			if slot.used && slot.done < n {
+				break
+			}
+			*slot = iterSlot{iter: started, pending: make([]int, n), used: true}
+			for v := 0; v < n; v++ {
+				slot.pending[v] = g.InDegree(dag.NodeID(v))
+				if slot.pending[v] == 0 {
+					readyQ = append(readyQ, dynEvent{time: now, node: dag.NodeID(v), iter: started})
+				}
+			}
+			started++
+		}
+		// Wake up for the next arrival even if nothing else happens.
+		if started < iterations {
+			next := started * interval
+			if next > now {
+				heap.Push(&events, dynEvent{time: next, kind: 2, iter: started})
+			}
+		}
+	}
+	dispatch := func(now int) {
+		i := 0
+		for i < len(readyQ) {
+			pe := -1
+			for p := 0; p < cfg.NumPEs; p++ {
+				if peFree[p] <= now {
+					pe = p
+					break
+				}
+			}
+			if pe < 0 {
+				break
+			}
+			ev := readyQ[i]
+			exec := g.Node(ev.node).Exec
+			peFree[pe] = now + exec
+			heap.Push(&events, dynEvent{time: now + exec, kind: 0, node: ev.node, iter: ev.iter})
+			readyQ = append(readyQ[:i], readyQ[i+1:]...)
+		}
+	}
+
+	admit(0)
+	dispatch(0)
+	for completed < iterations {
+		if events.Len() == 0 {
+			return QueueStats{}, fmt.Errorf("sim: queueing stalled at %d/%d", completed, iterations)
+		}
+		ev := heap.Pop(&events).(dynEvent)
+		now := ev.time
+		switch ev.kind {
+		case 0: // task finished
+			slot := &slots[ev.iter%window]
+			slot.done++
+			if slot.done == n {
+				completed++
+				latencies[ev.iter] = now - ev.iter*interval
+				if now > makespan {
+					makespan = now
+				}
+			}
+			for _, eid := range g.Out(ev.node) {
+				heap.Push(&events, dynEvent{time: now + transfer(eid), kind: 1, edge: eid, iter: ev.iter})
+			}
+		case 1: // transfer arrived
+			e := g.Edge(ev.edge)
+			slot := &slots[ev.iter%window]
+			if slot.used && slot.iter == ev.iter && slot.done < n {
+				slot.pending[e.To]--
+				if slot.pending[e.To] == 0 {
+					readyQ = append(readyQ, dynEvent{time: now, node: e.To, iter: ev.iter})
+				}
+			}
+		case 2: // arrival tick — admission handled below
+		}
+		admit(now)
+		dispatch(now)
+	}
+
+	sorted := append([]int(nil), latencies...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, l := range sorted {
+		sum += l
+	}
+	return QueueStats{
+		Iterations:  iterations,
+		Interval:    interval,
+		MeanLatency: float64(sum) / float64(iterations),
+		P95Latency:  sorted[(len(sorted)*95)/100],
+		MaxLatency:  sorted[len(sorted)-1],
+		Makespan:    makespan,
+	}, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+	"repro/internal/retime"
+)
+
+func TestQueueingOverloadDivergence(t *testing.T) {
+	g := synthGraph(t, 40, 100, 53)
+	cfg := pim.Neurocube(8)
+	a := retime.AllEDRAM(g.NumEdges())
+	// Service capacity: Σc/P per iteration.
+	service := (g.TotalExec() + cfg.NumPEs - 1) / cfg.NumPEs
+
+	// Slow arrivals (4x the service time): latency settles.
+	relaxed, err := Queueing(g, cfg, a, 4*service, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload (arrivals faster than service): latency diverges.
+	overload, err := Queueing(g, cfg, a, service/4+1, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overload.MeanLatency <= relaxed.MeanLatency {
+		t.Errorf("overload mean latency %.1f <= relaxed %.1f",
+			overload.MeanLatency, relaxed.MeanLatency)
+	}
+	if overload.MaxLatency <= relaxed.MaxLatency {
+		t.Errorf("overload max %d <= relaxed %d", overload.MaxLatency, relaxed.MaxLatency)
+	}
+	if relaxed.P95Latency > relaxed.MaxLatency || relaxed.MeanLatency > float64(relaxed.MaxLatency) {
+		t.Error("latency summary inconsistent")
+	}
+}
+
+func TestQueueingBatchEqualsDynamic(t *testing.T) {
+	// Interval 0 = all requests at time zero: makespan must match the
+	// batch executor's.
+	g := synthGraph(t, 30, 70, 59)
+	cfg := pim.Neurocube(8)
+	a := retime.AllCache(g.NumEdges())
+	q, err := Queueing(g, cfg, a, 0, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Dynamic(g, cfg, a, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Makespan != d.Makespan {
+		t.Errorf("queueing makespan %d != dynamic %d", q.Makespan, d.Makespan)
+	}
+}
+
+func TestQueueingErrors(t *testing.T) {
+	g := synthGraph(t, 10, 20, 1)
+	cfg := pim.Neurocube(4)
+	a := retime.AllEDRAM(g.NumEdges())
+	if _, err := Queueing(g, cfg, a, -1, 10, 4); err == nil {
+		t.Error("negative interval accepted")
+	}
+	if _, err := Queueing(g, cfg, a, 5, 0, 4); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Queueing(g, cfg, a[:2], 5, 10, 4); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestQueueingLatencyFloor(t *testing.T) {
+	// With generous arrivals, every request's latency is at least the
+	// graph's critical path (nothing can finish faster).
+	g := synthGraph(t, 25, 60, 61)
+	cfg := pim.Neurocube(16)
+	a := retime.AllCache(g.NumEdges())
+	cp, _ := g.CriticalPath()
+	q, err := Queueing(g, cfg, a, 10*cp, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MeanLatency < float64(cp) {
+		t.Errorf("mean latency %.1f below critical path %d", q.MeanLatency, cp)
+	}
+}

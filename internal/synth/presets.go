@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Topology presets for stress tests: extreme graph shapes that bound
+// the scheduler's behaviour from both sides.  Chain maximizes depth
+// (worst case for the baseline's critical path), Wide maximizes
+// parallel width (best case for within-iteration parallelism), Grid
+// sits between with regular 2D dependencies (systolic-style stencils).
+
+// Chain returns a pure pipeline of n vertices.
+func Chain(n int, seed int64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synth: Chain(%d); want >= 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New(fmt.Sprintf("chain-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode(dag.Node{Name: fmt.Sprintf("c%d", i), Kind: dag.OpConv, Exec: 1 + rng.Intn(4)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(dag.Edge{
+			From: dag.NodeID(i), To: dag.NodeID(i + 1),
+			Size: 1 + rng.Intn(2), CacheTime: 0, EDRAMTime: 2 + rng.Intn(3),
+		})
+	}
+	return g, g.Validate()
+}
+
+// Wide returns a source -> n parallel workers -> sink fan.
+func Wide(n int, seed int64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synth: Wide(%d); want >= 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New(fmt.Sprintf("wide-%d", n))
+	src := g.AddNode(dag.Node{Name: "src", Kind: dag.OpConv, Exec: 1})
+	snk := dag.NodeID(-1)
+	workers := make([]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		workers[i] = g.AddNode(dag.Node{Name: fmt.Sprintf("w%d", i), Kind: dag.OpConv, Exec: 1 + rng.Intn(4)})
+	}
+	snk = g.AddNode(dag.Node{Name: "snk", Kind: dag.OpConv, Exec: 1})
+	for _, w := range workers {
+		g.AddEdge(dag.Edge{From: src, To: w, Size: 1, CacheTime: 0, EDRAMTime: 2 + rng.Intn(3)})
+		g.AddEdge(dag.Edge{From: w, To: snk, Size: 1, CacheTime: 0, EDRAMTime: 2 + rng.Intn(3)})
+	}
+	return g, g.Validate()
+}
+
+// Grid returns a rows x cols stencil: each cell depends on its left
+// and upper neighbours — the dependency shape of systolic matrix
+// pipelines.
+func Grid(rows, cols int, seed int64) (*dag.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("synth: Grid(%d, %d); want >= 1 each", rows, cols)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New(fmt.Sprintf("grid-%dx%d", rows, cols))
+	id := func(r, c int) dag.NodeID { return dag.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(dag.Node{
+				Name: fmt.Sprintf("g%d_%d", r, c),
+				Kind: dag.OpConv,
+				Exec: 1 + rng.Intn(3),
+			})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(dag.Edge{From: id(r, c), To: id(r, c+1), Size: 1, EDRAMTime: 2})
+			}
+			if r+1 < rows {
+				g.AddEdge(dag.Edge{From: id(r, c), To: id(r+1, c), Size: 1, EDRAMTime: 2})
+			}
+		}
+	}
+	return g, g.Validate()
+}

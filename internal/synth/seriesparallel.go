@@ -1,0 +1,109 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// SPParams parameterizes SeriesParallel.
+type SPParams struct {
+	// Name labels the generated graph.
+	Name string
+	// Depth is the recursion depth; each level either splits into
+	// parallel branches (inception-style) or chains blocks in series.
+	// Depth 0 yields a single vertex.
+	Depth int
+	// MaxBranch bounds the fan-out of a parallel split (>= 2);
+	// zero defaults to 4, GoogLeNet's inception fan-out.
+	MaxBranch int
+	// Seed makes generation deterministic.
+	Seed int64
+	// MinExec and MaxExec bound vertex execution times; defaults [1,4].
+	MinExec, MaxExec int
+}
+
+func (p SPParams) withDefaults() SPParams {
+	if p.MaxBranch == 0 {
+		p.MaxBranch = 4
+	}
+	if p.MinExec == 0 {
+		p.MinExec = 1
+	}
+	if p.MaxExec == 0 {
+		p.MaxExec = 4
+	}
+	return p
+}
+
+// SeriesParallel generates a random series-parallel DAG, the topology
+// family GoogLeNet's inception modules live in: alternating series
+// composition (layer stacks) and parallel composition (branch-and-
+// concat).  The result always has a single source and a single sink.
+func SeriesParallel(p SPParams) (*dag.Graph, error) {
+	p = p.withDefaults()
+	if p.Depth < 0 {
+		return nil, fmt.Errorf("synth: Depth = %d; want >= 0", p.Depth)
+	}
+	if p.MaxBranch < 2 {
+		return nil, fmt.Errorf("synth: MaxBranch = %d; want >= 2", p.MaxBranch)
+	}
+	if p.MinExec < 1 || p.MaxExec < p.MinExec {
+		return nil, fmt.Errorf("synth: exec bounds [%d,%d] invalid", p.MinExec, p.MaxExec)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := dag.New(p.Name)
+
+	newVertex := func() dag.NodeID {
+		return g.AddNode(dag.Node{
+			Name: fmt.Sprintf("sp%d", g.NumNodes()),
+			Kind: dag.OpConv,
+			Exec: p.MinExec + rng.Intn(p.MaxExec-p.MinExec+1),
+		})
+	}
+	connect := func(a, b dag.NodeID) {
+		g.AddEdge(dag.Edge{
+			From: a, To: b,
+			Size:      1 + rng.Intn(2),
+			CacheTime: 0,
+			EDRAMTime: 1 + rng.Intn(2),
+		})
+	}
+
+	// build returns the (source, sink) of a sub-DAG of the given depth.
+	var build func(depth int) (dag.NodeID, dag.NodeID)
+	build = func(depth int) (dag.NodeID, dag.NodeID) {
+		if depth == 0 {
+			v := newVertex()
+			return v, v
+		}
+		if rng.Intn(2) == 0 {
+			// Series: chain 2-3 blocks.
+			blocks := 2 + rng.Intn(2)
+			src, snk := build(depth - 1)
+			for i := 1; i < blocks; i++ {
+				s2, k2 := build(depth - 1)
+				connect(snk, s2)
+				snk = k2
+			}
+			return src, snk
+		}
+		// Parallel: fork into branches between a fresh split vertex
+		// and a fresh join vertex.
+		split, join := newVertex(), newVertex()
+		branches := 2 + rng.Intn(p.MaxBranch-1)
+		for i := 0; i < branches; i++ {
+			s, k := build(depth - 1)
+			connect(split, s)
+			connect(k, join)
+		}
+		return split, join
+	}
+
+	build(p.Depth)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: series-parallel graph invalid: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,179 @@
+// Package trace exports simulation event logs in interchange formats:
+// JSON Lines for ad-hoc tooling, CSV for spreadsheets, and the Chrome
+// trace-event format (the JSON consumed by chrome://tracing and
+// Perfetto) for visual timeline inspection of kernel schedules,
+// prologue fill and transfer windows.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/sim"
+)
+
+// WriteJSONL writes one JSON object per event.
+func WriteJSONL(w io.Writer, tr *sim.Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		rec := map[string]any{
+			"time": ev.Time,
+			"kind": ev.Kind.String(),
+			"iter": ev.Iter,
+		}
+		switch ev.Kind {
+		case sim.EvTaskStart, sim.EvTaskEnd:
+			rec["pe"] = int(ev.PE)
+			rec["node"] = int(ev.Node)
+		case sim.EvTransferStart, sim.EvTransferEnd:
+			rec["edge"] = int(ev.Edge)
+			rec["place"] = ev.Place.String()
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the event log as CSV with a fixed column set.
+func WriteCSV(w io.Writer, tr *sim.Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "iter", "pe", "node", "edge", "place"}); err != nil {
+		return err
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		pe, node, edge, place := "", "", "", ""
+		switch ev.Kind {
+		case sim.EvTaskStart, sim.EvTaskEnd:
+			pe = strconv.Itoa(int(ev.PE))
+			node = strconv.Itoa(int(ev.Node))
+		case sim.EvTransferStart, sim.EvTransferEnd:
+			edge = strconv.Itoa(int(ev.Edge))
+			place = ev.Place.String()
+		}
+		rec := []string{
+			strconv.Itoa(ev.Time), ev.Kind.String(), strconv.Itoa(ev.Iter),
+			pe, node, edge, place,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// chromeEvent is one entry of the Chrome trace-event "complete" (X)
+// phase: a duration event on a (pid, tid) track.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int            `json:"ts"`  // microseconds; we map 1 time unit -> 1000 us
+	Dur  int            `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON.  PEs appear
+// as threads of process 1 ("PE array"); transfers as threads of
+// process 2 ("memory"), one lane per placement.  g names the vertices;
+// pass the plan's kernel graph.
+func WriteChrome(w io.Writer, tr *sim.Trace, g *dag.Graph) error {
+	const unit = 1000 // 1 schedule time unit -> 1 ms in the viewer
+	var events []chromeEvent
+
+	// Pair starts and ends by (id, iteration) — instances are unique
+	// per iteration, and zero-duration cached forwards may have their
+	// end sorted at the same timestamp as their start.
+	type taskKey struct {
+		node dag.NodeID
+		iter int
+	}
+	type xferKey struct {
+		edge dag.EdgeID
+		iter int
+	}
+	taskStart := make(map[taskKey]*sim.Event)
+	xferStart := make(map[xferKey]*sim.Event)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case sim.EvTaskStart:
+			taskStart[taskKey{ev.Node, ev.Iter}] = ev
+		case sim.EvTransferStart:
+			xferStart[xferKey{ev.Edge, ev.Iter}] = ev
+		}
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case sim.EvTaskEnd:
+			s, ok := taskStart[taskKey{ev.Node, ev.Iter}]
+			if !ok {
+				return fmt.Errorf("trace: task end for node %d iteration %d without start", ev.Node, ev.Iter)
+			}
+			name := fmt.Sprintf("T%d", ev.Node+1)
+			if g != nil && int(ev.Node) < g.NumNodes() && g.Node(ev.Node).Name != "" {
+				name = g.Node(ev.Node).Name
+			}
+			events = append(events, chromeEvent{
+				Name: name, Cat: "task", Ph: "X",
+				Ts: s.Time * unit, Dur: (ev.Time - s.Time) * unit,
+				PID: 1, TID: int(ev.PE) + 1,
+				Args: map[string]any{"iteration": ev.Iter},
+			})
+		case sim.EvTransferEnd:
+			s, ok := xferStart[xferKey{ev.Edge, ev.Iter}]
+			if !ok {
+				return fmt.Errorf("trace: transfer end for edge %d iteration %d without start", ev.Edge, ev.Iter)
+			}
+			tid := 1
+			if ev.Place == pim.InEDRAM {
+				tid = 2
+			}
+			name := fmt.Sprintf("I%d", ev.Edge)
+			if g != nil && int(ev.Edge) < g.NumEdges() {
+				e := g.Edge(ev.Edge)
+				name = fmt.Sprintf("I(%d,%d)", e.From+1, e.To+1)
+			}
+			dur := ev.Time - s.Time
+			if dur == 0 {
+				dur = 1 // zero-width events vanish in the viewer
+			}
+			events = append(events, chromeEvent{
+				Name: name, Cat: "transfer:" + ev.Place.String(), Ph: "X",
+				Ts: s.Time * unit, Dur: dur * unit,
+				PID: 2, TID: tid,
+				Args: map[string]any{"iteration": ev.Iter, "place": ev.Place.String()},
+			})
+		case sim.EvIterationDone:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("iteration %d done", ev.Iter), Cat: "milestone", Ph: "X",
+				Ts: ev.Time * unit, Dur: 1,
+				PID: 3, TID: 1,
+			})
+		}
+	}
+	doc := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,225 @@
+package paraconv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := Synthetic(SynthParams{Name: "e2e", Vertices: 40, Edges: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Neurocube(16)
+	plan, err := Plan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Simulate(plan, cfg, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations < 200 {
+		t.Errorf("iterations = %d", stats.Iterations)
+	}
+	base, err := Baseline(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalTime(200) >= base.TotalTime(200) {
+		t.Errorf("Para-CONV %d >= SPARTA %d", plan.TotalTime(200), base.TotalTime(200))
+	}
+}
+
+func TestFacadeManualGraph(t *testing.T) {
+	g := NewGraph("manual")
+	a := g.AddNode(Node{Name: "conv1", Kind: OpConv, Exec: 2})
+	b := g.AddNode(Node{Name: "pool1", Kind: OpPool, Exec: 1})
+	g.AddEdge(Edge{From: a, To: b, Size: 1, CacheTime: 0, EDRAMTime: 2})
+	cfg := Neurocube(4)
+	plan, err := PlanSingleKernel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Iter.Period < 2 {
+		t.Errorf("period = %d", plan.Iter.Period)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, &plan.Iter); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PE1") {
+		t.Error("gantt output malformed")
+	}
+}
+
+func TestFacadeCNNPath(t *testing.T) {
+	net, err := GoogLeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Neurocube(64)
+	g, err := NetworkGraph(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 72 { // 57 convs + 14 pools + 1 fc
+		t.Errorf("GoogLeNet task graph has %d vertices", g.NumNodes())
+	}
+	plan, err := Plan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(plan, cfg, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	lenet, err := LeNet5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := NetworkGraph(lenet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.NumNodes() != 7 {
+		t.Errorf("LeNet-5 task graph has %d vertices", lg.NumNodes())
+	}
+}
+
+func TestFacadeSerialization(t *testing.T) {
+	g, err := Synthetic(SynthParams{Vertices: 15, Edges: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 15 || back.NumEdges() != 30 {
+		t.Errorf("round trip: %d/%d", back.NumNodes(), back.NumEdges())
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	suite := BenchmarkSuite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d benchmarks", len(suite))
+	}
+	if suite[0].Name != "cat" || suite[11].Name != "protein" {
+		t.Errorf("suite order: %s ... %s", suite[0].Name, suite[11].Name)
+	}
+}
+
+func TestFacadeArchSelection(t *testing.T) {
+	g, err := Synthetic(SynthParams{Vertices: 30, Edges: 75, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := ArchPresets(16)
+	if len(presets) != 4 {
+		t.Fatalf("%d presets", len(presets))
+	}
+	for _, mk := range []func(int) Config{Neurocube, PRIME, HMCGen2, EdgeDevice} {
+		if err := mk(16).Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+	best, ranked, err := SelectArch(g, presets, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 || best.Plan == nil {
+		t.Errorf("selection incomplete: %d ranked", len(ranked))
+	}
+}
+
+func TestFacadeTraceAndApps(t *testing.T) {
+	net, err := AppNetwork("speech-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(AppNetworkNames()) != 12 {
+		t.Errorf("%d app networks", len(AppNetworkNames()))
+	}
+	cfg := Neurocube(16)
+	g, err := NetworkGraph(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, tr, err := SimulateTrace(plan, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 || stats.Iterations < 10 {
+		t.Errorf("trace empty or short: %d events, %d iters", len(tr.Events), stats.Iterations)
+	}
+}
+
+func TestFacadePlanWithSchedule(t *testing.T) {
+	g, err := Synthetic(SynthParams{Vertices: 40, Edges: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ObjectiveSchedule(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int
+	for i, pes := range []int{16, 32, 64} {
+		plan, err := PlanWithSchedule(g, base, Neurocube(pes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && plan.RMax > prev {
+			t.Errorf("RMax rose from %d to %d at %d PEs under fixed schedule", prev, plan.RMax, pes)
+		}
+		prev = plan.RMax
+	}
+}
+
+func TestFacadeNaiveAndQueue(t *testing.T) {
+	g, err := Synthetic(SynthParams{Vertices: 25, Edges: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Neurocube(8)
+	nv, err := BaselineNaive(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Baseline(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.TotalTime(100) > nv.TotalTime(100) {
+		t.Errorf("SPARTA %d worse than naive %d", sp.TotalTime(100), nv.TotalTime(100))
+	}
+	plan, err := Plan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := SimulateQueue(g, cfg, plan.Iter.Assignment[:g.NumEdges()], 2*plan.Iter.Period, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MeanLatency <= 0 || q.P95Latency < int(q.MeanLatency+0.5)-q.MaxLatency {
+		t.Errorf("queue stats inconsistent: %+v", q)
+	}
+}
