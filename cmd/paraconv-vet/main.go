@@ -1,0 +1,136 @@
+// Command paraconv-vet runs the project's custom static-analysis
+// passes (internal/analysis) over the module and reports findings as
+//
+//	file:line: message [pass]
+//
+// exiting nonzero if any finding is not suppressed by the allowlist.
+// The passes enforce the repository's reproducibility and robustness
+// discipline: no global math/rand draws, no hash-ordered map iteration
+// in report-producing packages, no panics in internal/ library code,
+// and no exact float comparison in the cost/energy model.
+//
+// Usage:
+//
+//	go run ./cmd/paraconv-vet ./...
+//	go run ./cmd/paraconv-vet -passes globalrand,libpanic ./...
+//
+// Package patterns are accepted for familiarity but the tool always
+// analyzes the whole module containing the working directory.
+// Grandfathered findings live in .paraconv-vet-ignore at the module
+// root (see -ignore); stale allowlist entries are reported as warnings
+// on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	ignorePath := flag.String("ignore", "", "allowlist file (default <module root>/.paraconv-vet-ignore if present)")
+	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default all)")
+	list := flag.Bool("list", false, "list available passes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.AllPasses() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	if err := run(*ignorePath, *passNames); err != nil {
+		fmt.Fprintln(os.Stderr, "paraconv-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(ignorePath, passNames string) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+
+	passes := analysis.AllPasses()
+	if passNames != "" {
+		passes = passes[:0]
+		for _, name := range strings.Split(passNames, ",") {
+			p, ok := analysis.PassByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown pass %q (try -list)", name)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	mod, err := analysis.Load(root)
+	if err != nil {
+		return err
+	}
+	diags := analysis.RunPasses(mod, passes)
+
+	var entries []analysis.IgnoreEntry
+	path := ignorePath
+	if path == "" {
+		candidate := filepath.Join(root, ".paraconv-vet-ignore")
+		if _, err := os.Stat(candidate); err == nil {
+			path = candidate
+		}
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		entries, err = analysis.ParseIgnore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	kept, unused := analysis.FilterIgnored(diags, entries)
+	// An entry for a pass that did not run this invocation is not
+	// stale — it just had no chance to match.  Only warn for entries
+	// belonging to enabled passes.
+	enabled := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		enabled[p.Name] = true
+	}
+	for _, e := range unused {
+		if enabled[e.Pass] {
+			fmt.Fprintf(os.Stderr, "paraconv-vet: warning: unused ignore entry %q\n", e)
+		}
+	}
+	for _, d := range kept {
+		fmt.Println(d)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "paraconv-vet: %d finding(s)\n", len(kept))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -59,7 +59,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := g.ComputeStats()
+	st, err := g.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("graph %s on %s (%d KB PE-array cache)\n\n", st, cfg.Name, cfg.TotalCacheBytes()/1024)
 
 	plan, err := sched.ParaCONV(g, cfg)

@@ -44,7 +44,11 @@ func ExampleNewGraph() {
 			From: ids[p[0]], To: ids[p[1]], Size: 1, CacheTime: 0, EDRAMTime: 1,
 		})
 	}
-	fmt.Println(g.ComputeStats())
+	st, err := g.ComputeStats()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st)
 	// Output:
 	// fig2b: |V|=5 |E|=6 depth=3 Σc=5 critpath=3
 }

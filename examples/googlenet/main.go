@@ -26,7 +26,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("lowered task graph:", g.ComputeStats())
+	st, err := g.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lowered task graph:", st)
 	fmt.Println()
 
 	const iterations = 1000 // inference requests

@@ -24,7 +24,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(g.ComputeStats())
+	st, err := g.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st)
 
 	cfg := paraconv.Neurocube(16)
 	fmt.Printf("architecture: %s, %d PEs, %d KB on-chip cache, eDRAM fetch %.0fx cache\n\n",

@@ -26,7 +26,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("subject:", g.ComputeStats())
+	st, err := g.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subject:", st)
 	const iterations = 1000
 
 	fmt.Println("\nPE sweep (Neurocube cache, 4 KB per PE):")

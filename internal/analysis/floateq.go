@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPackages are the cost/energy model trees (relative to the
+// module path) where an exact floating-point comparison is almost
+// always a latent bug: energy totals, ratios and densities are sums
+// and quotients whose low bits depend on evaluation order.
+var floatEqPackages = []string{
+	"/internal/pim",
+	"/internal/bench",
+	"/internal/sim",
+	"/internal/core",
+}
+
+// runFloatEq flags == and != between floating-point expressions in the
+// packages above.  Compare against an epsilon, or restate the
+// comparison in integer arithmetic (cross-multiply densities, count in
+// fixed units).
+func runFloatEq(m *Module, p *Package) []Diagnostic {
+	if !pathSuffixMatch(m, p, floatEqPackages) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.Info.TypeOf(bin.X)) || isFloat(p.Info.TypeOf(bin.Y)) {
+				diags = append(diags, diag(m, "floateq", bin.Pos(),
+					"floating-point %s comparison; use an epsilon or integer arithmetic", bin.Op))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// kind (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

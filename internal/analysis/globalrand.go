@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that are
+// fine to call anywhere: they build an explicitly seeded generator
+// rather than draw from the shared global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// runGlobalRand flags every call to a package-level function of
+// math/rand or math/rand/v2 other than the constructors above.  Those
+// functions draw from the process-global source, whose sequence
+// depends on whatever else has consumed it — identical seeds then stop
+// giving identical graphs, case mixes and reports.  Methods on an
+// injected *rand.Rand are always allowed.
+func runGlobalRand(m *Module, p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an injected generator
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			diags = append(diags, diag(m, "globalrand", call.Pos(),
+				"call to global %s.%s; inject a seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name()))
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+// Test files (*_test.go) are excluded: the passes police library and
+// binary code, and tests are explicitly allowed to use panics, global
+// randomness shims and unordered iteration where convenient.
+type Package struct {
+	// Path is the full import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory the package lives in.
+	Dir string
+	// Files holds the parsed non-test source files, sorted by name.
+	Files []*ast.File
+	// FileNames[i] is the absolute path of Files[i].
+	FileNames []string
+	// Types and Info carry the go/types results.  Type checking is
+	// best-effort: unresolved imports degrade precision but never abort
+	// the analysis, so both may be partially populated.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded, type-checked Go module.
+type Module struct {
+	// Path is the module path declared in go.mod.
+	Path string
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Fset positions all parsed files.
+	Fset *token.FileSet
+	// Packages is sorted by import path.
+	Packages []*Package
+}
+
+// Rel converts an absolute file name under the module root to a
+// slash-separated root-relative path (the form diagnostics and the
+// ignore file use).
+func (m *Module) Rel(filename string) string {
+	if r, err := filepath.Rel(m.Root, filename); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Load parses and type-checks every non-test package under root, which
+// must contain a go.mod.  Directories named testdata or vendor, and
+// hidden or underscore-prefixed directories, are skipped, matching the
+// go tool's convention.  Type-check errors (for example an import the
+// environment cannot resolve) are tolerated: the passes work with
+// whatever type information could be computed.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet()}
+
+	dirs, err := goDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := m.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			m.Packages = append(m.Packages, pkg)
+		}
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
+	m.typecheck()
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			path := strings.TrimSpace(rest)
+			path = strings.Trim(path, `"`)
+			if path != "" {
+				return path, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// goDirs returns every directory under root that contains at least one
+// non-test .go file, skipping testdata, vendor, hidden and
+// underscore-prefixed directories.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test files of one directory into a Package,
+// or returns nil if the directory holds no parsable Go package.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.Path
+	if rel != "." {
+		importPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: importPath, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, full)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// localImports lists the module-local import paths of a package.
+func (m *Module) localImports(p *Package) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == m.Path || strings.HasPrefix(path, m.Path+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheck runs go/types over every package in dependency order.
+// Module-local imports resolve to the already-checked packages;
+// everything else goes through the toolchain's default importer.
+// All type errors are swallowed: precision degrades, analysis goes on.
+func (m *Module) typecheck() {
+	byPath := make(map[string]*Package, len(m.Packages))
+	for _, p := range m.Packages {
+		byPath[p.Path] = p
+	}
+	std := importer.Default()
+	var imp importerFunc
+	imp = func(path string) (*types.Package, error) {
+		if local, ok := byPath[path]; ok {
+			if local.Types == nil {
+				return nil, fmt.Errorf("analysis: import cycle or unchecked package %q", path)
+			}
+			return local.Types, nil
+		}
+		return std.Import(path)
+	}
+
+	checked := make(map[string]bool, len(m.Packages))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if checked[p.Path] {
+			return
+		}
+		checked[p.Path] = true // pre-mark: a (compiler-impossible) cycle degrades, not loops
+		for _, dep := range m.localImports(p) {
+			if d, ok := byPath[dep]; ok {
+				visit(d)
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer:    imp,
+			Error:       func(error) {}, // collect nothing, tolerate everything
+			FakeImportC: true,
+		}
+		tpkg, _ := conf.Check(p.Path, m.Fset, p.Files, info)
+		p.Types, p.Info = tpkg, info
+	}
+	for _, p := range m.Packages {
+		visit(p)
+	}
+}

@@ -1,0 +1,14 @@
+package gen
+
+import randv2 "math/rand/v2"
+
+// Pick draws from math/rand/v2's global source.
+func Pick(n int) int {
+	return randv2.IntN(n) // want globalrand
+}
+
+// SeededPick uses an explicitly seeded PCG; allowed.
+func SeededPick(seed uint64, n int) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(n)
+}

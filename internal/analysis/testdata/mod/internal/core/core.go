@@ -1,0 +1,30 @@
+// Package core exercises the libpanic and floateq passes: it lives
+// under internal/ and in one of the cost-model trees.
+package core
+
+import "errors"
+
+// Pick panics on bad input from a plain library function; flagged.
+func Pick(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("core: index out of range") // want libpanic
+	}
+	return xs[i]
+}
+
+// PickChecked returns an error instead; allowed.
+func PickChecked(xs []int, i int) (int, error) {
+	if i < 0 || i >= len(xs) {
+		return 0, errors.New("core: index out of range")
+	}
+	return xs[i], nil
+}
+
+// MustPick is a conventional Must* wrapper; its panic is exempt.
+func MustPick(xs []int, i int) int {
+	v, err := PickChecked(xs, i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,30 @@
+package core
+
+// SameDensity compares floats exactly; flagged.
+func SameDensity(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// Changed uses != on floats; flagged.
+func Changed(a, b float64) bool {
+	return a != b // want floateq
+}
+
+// ZeroEnergy compares against an untyped float constant; flagged.
+func ZeroEnergy(pj float64) bool {
+	return pj == 0.0 // want floateq
+}
+
+// SameDensityInt restates the comparison by cross-multiplying; allowed.
+func SameDensityInt(an, ad, bn, bd int) bool {
+	return an*bd == bn*ad
+}
+
+// CloseEnough is the epsilon idiom; the < comparison is allowed.
+func CloseEnough(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,54 @@
+// Package sched exercises the maprange pass: it sits in one of the
+// output-producing trees, so map iteration must follow a deterministic
+// idiom.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report prints in hash order; flagged.
+func Report(byPE map[int]int) {
+	for pe, n := range byPE { // want maprange
+		fmt.Println(pe, n)
+	}
+}
+
+// Keys is the pure-accumulation half of the sorted-keys idiom: the
+// body only appends, so iteration order cannot leak.
+func Keys(byPE map[int]int) []int {
+	var keys []int
+	for pe := range byPE {
+		keys = append(keys, pe)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Total is an order-insensitive reduction with no calls at all.
+func Total(byPE map[int]int) int {
+	total := 0
+	for _, n := range byPE {
+		total += n
+	}
+	return total
+}
+
+// Rows calls fmt.Sprintf inside the loop but sorts afterwards in the
+// same function — the collect-then-sort shape is accepted.
+func Rows(byPE map[int]int) []string {
+	var rows []string
+	for pe, n := range byPE {
+		rows = append(rows, fmt.Sprintf("pe%d=%d", pe, n))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// SliceReport ranges a slice, which is ordered; never flagged.
+func SliceReport(counts []int) {
+	for pe, n := range counts {
+		fmt.Println(pe, n)
+	}
+}

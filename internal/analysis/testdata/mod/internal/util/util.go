@@ -1,0 +1,24 @@
+// Package util sits under internal/ but outside the maprange and
+// floateq package scopes: only libpanic applies here.
+package util
+
+import "fmt"
+
+// Dump iterates a map, but util is not an output-producing tree; not
+// flagged.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Eq compares floats exactly, but util is not a cost-model tree; not
+// flagged.
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+// Boom panics; libpanic applies to all of internal/.
+func Boom() {
+	panic("util: boom") // want libpanic
+}

@@ -19,7 +19,7 @@ func barChart(labels []string, series [][]float64, seriesNames []string, width i
 			}
 		}
 	}
-	if max == 0 {
+	if max <= 0 {
 		max = 1
 	}
 	labelWidth := 0

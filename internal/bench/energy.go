@@ -29,7 +29,7 @@ type EnergyRow struct {
 
 // Saving returns the relative energy saving of Para-CONV.
 func (r EnergyRow) Saving() float64 {
-	if r.SpartaPJ == 0 {
+	if r.SpartaPJ <= 0 { // energies are sums of non-negative terms
 		return 0
 	}
 	return 1 - r.ParaPJ/r.SpartaPJ

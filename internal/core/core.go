@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/dag"
 	"repro/internal/pim"
 	"repro/internal/retime"
@@ -121,6 +122,12 @@ func Optimize(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capaci
 		}
 	}
 	fillZeroDelta(g, classes, &alloc, capacity)
+	if check.Enabled() {
+		claim := check.Claim{CacheUsed: alloc.CacheUsed, CachedCount: alloc.CachedCount, RMax: -1}
+		if err := check.CheckAllocation(g, alloc.Assignment, capacity, claim, nil); err != nil {
+			return Allocation{}, fmt.Errorf("core: %w", err)
+		}
+	}
 	return alloc, nil
 }
 
@@ -205,12 +212,13 @@ func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
 }
 
 // BruteForce computes the optimal knapsack profit by exhaustive subset
-// enumeration.  Exponential — usable only for small item counts; it
-// exists to certify Knapsack's optimality in tests and ablations.
-func BruteForce(items []Item, capacity int) int {
+// enumeration.  Exponential — usable only for small item counts (it
+// returns an error beyond 24 items); it exists to certify Knapsack's
+// optimality in tests and ablations.
+func BruteForce(items []Item, capacity int) (int, error) {
 	n := len(items)
 	if n > 24 {
-		panic(fmt.Sprintf("core: BruteForce over %d items would enumerate 2^%d subsets", n, n))
+		return 0, fmt.Errorf("core: BruteForce over %d items would enumerate 2^%d subsets", n, n)
 	}
 	best := 0
 	for mask := 0; mask < 1<<n; mask++ {
@@ -225,7 +233,7 @@ func BruteForce(items []Item, capacity int) int {
 			best = profit
 		}
 	}
-	return best
+	return best, nil
 }
 
 // Greedy is the density-ordered heuristic baseline used in ablation
@@ -237,9 +245,12 @@ func Greedy(items []Item, capacity int) (chosen []bool, profit int) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
+		// Density compare ΔR_a/size_a vs ΔR_b/size_b by integer
+		// cross-multiplication (sizes are >= 1): exact, and free of
+		// float rounding that could flip ties across platforms.
 		ia, ib := &items[order[a]], &items[order[b]]
-		da := float64(ia.DeltaR) / float64(ia.Size)
-		db := float64(ib.DeltaR) / float64(ib.Size)
+		da := ia.DeltaR * ib.Size
+		db := ib.DeltaR * ia.Size
 		if da != db {
 			return da > db
 		}

@@ -62,7 +62,10 @@ func TestKnapsackMatchesBruteForce(t *testing.T) {
 		}
 		cap := rng.Intn(15)
 		_, got := Knapsack(items, cap)
-		want := BruteForce(items, cap)
+		want, err := BruteForce(items, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got != want {
 			t.Fatalf("trial %d: Knapsack = %d, BruteForce = %d (items=%+v cap=%d)", trial, got, want, items, cap)
 		}
@@ -166,13 +169,10 @@ func TestGreedyNeverBeatsKnapsack(t *testing.T) {
 	}
 }
 
-func TestBruteForcePanicsOnLargeInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("BruteForce over 24 items did not panic")
-		}
-	}()
-	BruteForce(make([]Item, 30), 5)
+func TestBruteForceRejectsLargeInput(t *testing.T) {
+	if _, err := BruteForce(make([]Item, 30), 5); err == nil {
+		t.Fatal("BruteForce over 24 items did not return an error")
+	}
 }
 
 // buildClassifiedGraph returns a 3-vertex chain with a compact

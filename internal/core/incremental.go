@@ -56,15 +56,15 @@ func (d *IncrementalDP) Push(it Item) {
 }
 
 // Pop retracts the most recently pushed item in O(1) and returns it.
-// It panics if the solver is empty.
-func (d *IncrementalDP) Pop() Item {
+// It returns an error if the solver is empty.
+func (d *IncrementalDP) Pop() (Item, error) {
 	if len(d.items) == 0 {
-		panic("core: Pop on empty IncrementalDP")
+		return Item{}, fmt.Errorf("core: Pop on empty IncrementalDP")
 	}
 	it := d.items[len(d.items)-1]
 	d.items = d.items[:len(d.items)-1]
 	d.rows = d.rows[:len(d.rows)-1]
-	return it
+	return it, nil
 }
 
 // Chosen reconstructs one optimal subset for the current item set by

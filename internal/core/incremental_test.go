@@ -40,7 +40,10 @@ func TestIncrementalPushPop(t *testing.T) {
 	if d.Profit() != 3 { // both don't fit (11 > 10); best single is b
 		t.Errorf("after b: %d", d.Profit())
 	}
-	got := d.Pop()
+	got, err := d.Pop()
+	if err != nil {
+		t.Fatalf("Pop: %v", err)
+	}
 	if got != b {
 		t.Errorf("Pop = %+v", got)
 	}
@@ -84,12 +87,9 @@ func TestIncrementalErrors(t *testing.T) {
 		t.Error("negative capacity accepted")
 	}
 	d, _ := NewIncrementalDP(5)
-	defer func() {
-		if recover() == nil {
-			t.Error("Pop on empty solver did not panic")
-		}
-	}()
-	d.Pop()
+	if _, err := d.Pop(); err == nil {
+		t.Error("Pop on empty solver did not return an error")
+	}
 }
 
 func TestIncrementalItemsCopy(t *testing.T) {
@@ -118,7 +118,9 @@ func TestIncrementalInterleavingProperty(t *testing.T) {
 				d.Push(it)
 				live = append(live, it)
 			} else {
-				d.Pop()
+				if _, err := d.Pop(); err != nil {
+					return false
+				}
 				live = live[:len(live)-1]
 			}
 		}

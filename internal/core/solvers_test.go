@@ -39,7 +39,10 @@ func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
 		items := randomItems(rng, rng.Intn(14))
 		cap := rng.Intn(25)
 		bb := BranchAndBound(items, cap)
-		bf := BruteForce(items, cap)
+		bf, err := BruteForce(items, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if bb != bf {
 			t.Fatalf("trial %d: B&B %d != brute force %d (items=%+v cap=%d)", trial, bb, bf, items, cap)
 		}

@@ -55,11 +55,12 @@ func (g *Graph) IsAcyclic() bool {
 
 // Levels returns the ASAP level decomposition: level 0 holds the
 // sources; level k holds vertices all of whose predecessors sit in
-// levels < k with at least one in level k-1.  Panics on cyclic graphs.
-func (g *Graph) Levels() [][]NodeID {
+// levels < k with at least one in level k-1.  It returns ErrCyclic
+// (wrapped) if the graph is not acyclic.
+func (g *Graph) Levels() ([][]NodeID, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	lvl := make([]int, g.NumNodes())
 	maxLvl := -1
@@ -80,15 +81,16 @@ func (g *Graph) Levels() [][]NodeID {
 	for _, v := range order {
 		levels[lvl[v]] = append(levels[lvl[v]], v)
 	}
-	return levels
+	return levels, nil
 }
 
 // LevelOf returns, for each vertex, its ASAP level (same definition as
-// Levels).  Panics on cyclic graphs.
-func (g *Graph) LevelOf() []int {
+// Levels).  It returns ErrCyclic (wrapped) if the graph is not
+// acyclic.
+func (g *Graph) LevelOf() ([]int, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	lvl := make([]int, g.NumNodes())
 	for _, v := range order {
@@ -99,32 +101,33 @@ func (g *Graph) LevelOf() []int {
 			}
 		}
 	}
-	return lvl
+	return lvl, nil
 }
 
 // CriticalPath returns the execution-weighted length of the longest
 // path (sum of Exec over its vertices, edge weights excluded) and one
-// such path.  For an empty graph it returns (0, nil).  Panics on
-// cyclic graphs.
-func (g *Graph) CriticalPath() (int, []NodeID) {
+// such path.  For an empty graph it returns (0, nil, nil).  It returns
+// ErrCyclic (wrapped) if the graph is not acyclic.
+func (g *Graph) CriticalPath() (int, []NodeID, error) {
 	return g.longestPath(func(e *Edge) int { return 0 })
 }
 
 // CriticalPathWithTransfers is CriticalPath but adds an edge weight for
 // every traversed edge, supplied by weight (typically the eDRAM or
-// cache transfer time of the IPR).  Panics on cyclic graphs.
-func (g *Graph) CriticalPathWithTransfers(weight func(*Edge) int) (int, []NodeID) {
+// cache transfer time of the IPR).  It returns ErrCyclic (wrapped) if
+// the graph is not acyclic.
+func (g *Graph) CriticalPathWithTransfers(weight func(*Edge) int) (int, []NodeID, error) {
 	return g.longestPath(weight)
 }
 
-func (g *Graph) longestPath(edgeWeight func(*Edge) int) (int, []NodeID) {
+func (g *Graph) longestPath(edgeWeight func(*Edge) int) (int, []NodeID, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	dist := make([]int, n) // longest path ending at v, inclusive of v
 	pred := make([]NodeID, n)
@@ -155,17 +158,18 @@ func (g *Graph) longestPath(edgeWeight func(*Edge) int) (int, []NodeID) {
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
-	return best, path
+	return best, path, nil
 }
 
 // ASAPStarts returns the as-soon-as-possible start time of each vertex
 // assuming unlimited PEs, where a vertex may start once every
 // predecessor has finished and its IPR has been transferred; transfer
-// times come from weight.  Panics on cyclic graphs.
-func (g *Graph) ASAPStarts(weight func(*Edge) int) []int {
+// times come from weight.  It returns ErrCyclic (wrapped) if the graph
+// is not acyclic.
+func (g *Graph) ASAPStarts(weight func(*Edge) int) ([]int, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	start := make([]int, g.NumNodes())
 	for _, v := range order {
@@ -179,7 +183,7 @@ func (g *Graph) ASAPStarts(weight func(*Edge) int) []int {
 		}
 		start[v] = s
 	}
-	return start
+	return start, nil
 }
 
 // ReachableFrom returns the set of vertices reachable from v,

@@ -315,12 +315,18 @@ type Stats struct {
 	CritPath  int // execution-weighted critical path length
 }
 
-// ComputeStats computes summary statistics.  It panics if the graph is
-// cyclic (Depth and CritPath are undefined then); call Validate first
-// on untrusted input.
-func (g *Graph) ComputeStats() Stats {
-	levels := g.Levels()
-	cp, _ := g.CriticalPath()
+// ComputeStats computes summary statistics.  It returns ErrCyclic
+// (wrapped) if the graph is cyclic (Depth and CritPath are undefined
+// then); call Validate first on untrusted input.
+func (g *Graph) ComputeStats() (Stats, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return Stats{}, err
+	}
+	cp, _, err := g.CriticalPath()
+	if err != nil {
+		return Stats{}, err
+	}
 	return Stats{
 		Name:      g.name,
 		Nodes:     g.NumNodes(),
@@ -331,7 +337,7 @@ func (g *Graph) ComputeStats() Stats {
 		TotalExec: g.TotalExec(),
 		MaxExec:   g.MaxExec(),
 		CritPath:  cp,
-	}
+	}, nil
 }
 
 // String implements fmt.Stringer with a short one-line summary.

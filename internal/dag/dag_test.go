@@ -126,7 +126,10 @@ func TestTopoSortDetectsCycle(t *testing.T) {
 
 func TestLevels(t *testing.T) {
 	g := paperGraph(t)
-	levels := g.Levels()
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
 	if len(levels) != 3 {
 		t.Fatalf("len(Levels) = %d, want 3", len(levels))
 	}
@@ -139,7 +142,10 @@ func TestLevels(t *testing.T) {
 	if len(levels[2]) != 2 {
 		t.Errorf("level 2 = %v, want two vertices", levels[2])
 	}
-	lvl := g.LevelOf()
+	lvl, err := g.LevelOf()
+	if err != nil {
+		t.Fatalf("LevelOf: %v", err)
+	}
 	if lvl[0] != 0 || lvl[1] != 1 || lvl[3] != 2 {
 		t.Errorf("LevelOf = %v", lvl)
 	}
@@ -147,7 +153,10 @@ func TestLevels(t *testing.T) {
 
 func TestCriticalPath(t *testing.T) {
 	g := paperGraph(t)
-	length, path := g.CriticalPath()
+	length, path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
 	if length != 3 {
 		t.Errorf("critical path length = %d, want 3", length)
 	}
@@ -158,7 +167,10 @@ func TestCriticalPath(t *testing.T) {
 
 func TestCriticalPathWithTransfers(t *testing.T) {
 	g := paperGraph(t)
-	length, _ := g.CriticalPathWithTransfers(func(e *Edge) int { return e.EDRAMTime })
+	length, _, err := g.CriticalPathWithTransfers(func(e *Edge) int { return e.EDRAMTime })
+	if err != nil {
+		t.Fatalf("CriticalPathWithTransfers: %v", err)
+	}
 	// 1 + 1 + 1 execution plus two eDRAM hops of 1 each.
 	if length != 5 {
 		t.Errorf("critical path with eDRAM transfers = %d, want 5", length)
@@ -167,7 +179,10 @@ func TestCriticalPathWithTransfers(t *testing.T) {
 
 func TestCriticalPathEmptyGraph(t *testing.T) {
 	g := New("empty")
-	length, path := g.CriticalPath()
+	length, path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
 	if length != 0 || path != nil {
 		t.Errorf("empty graph critical path = (%d, %v), want (0, nil)", length, path)
 	}
@@ -175,7 +190,10 @@ func TestCriticalPathEmptyGraph(t *testing.T) {
 
 func TestASAPStarts(t *testing.T) {
 	g := paperGraph(t)
-	starts := g.ASAPStarts(func(e *Edge) int { return e.EDRAMTime })
+	starts, err := g.ASAPStarts(func(e *Edge) int { return e.EDRAMTime })
+	if err != nil {
+		t.Fatalf("ASAPStarts: %v", err)
+	}
 	want := []int{0, 2, 2, 4, 4}
 	for i, w := range want {
 		if starts[i] != w {
@@ -230,7 +248,10 @@ func TestTotalsAndStats(t *testing.T) {
 	if got := g.MaxExec(); got != 4 {
 		t.Errorf("MaxExec = %d, want 4", got)
 	}
-	st := g.ComputeStats()
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatalf("ComputeStats: %v", err)
+	}
 	if st.Nodes != 5 || st.Edges != 6 || st.Depth != 3 || st.Sources != 1 || st.Sinks != 2 {
 		t.Errorf("stats = %+v", st)
 	}

@@ -5,35 +5,45 @@ import "fmt"
 // WidthProfile returns the number of vertices at each ASAP level — the
 // graph's parallelism profile.  MaxWidth bounds how many PEs a
 // dependency-respecting scheduler can keep busy simultaneously, which
-// is exactly where the SPARTA baseline's scaling saturates.
-func (g *Graph) WidthProfile() []int {
-	levels := g.Levels()
+// is exactly where the SPARTA baseline's scaling saturates.  It
+// returns ErrCyclic (wrapped) if the graph is not acyclic.
+func (g *Graph) WidthProfile() ([]int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
 	widths := make([]int, len(levels))
 	for i, l := range levels {
 		widths[i] = len(l)
 	}
-	return widths
+	return widths, nil
 }
 
 // MaxWidth returns the widest level of the ASAP decomposition, or 0
-// for an empty graph.
-func (g *Graph) MaxWidth() int {
+// for an empty graph.  It returns ErrCyclic (wrapped) if the graph is
+// not acyclic.
+func (g *Graph) MaxWidth() (int, error) {
+	widths, err := g.WidthProfile()
+	if err != nil {
+		return 0, err
+	}
 	max := 0
-	for _, w := range g.WidthProfile() {
+	for _, w := range widths {
 		if w > max {
 			max = w
 		}
 	}
-	return max
+	return max, nil
 }
 
 // PathCount returns the number of distinct source-to-sink paths.  On
 // pathological graphs (path counts grow exponentially) it saturates at
-// 2^40 rather than overflowing.  Panics on cyclic graphs.
-func (g *Graph) PathCount() int64 {
+// 2^40 rather than overflowing.  It returns ErrCyclic (wrapped) if the
+// graph is not acyclic.
+func (g *Graph) PathCount() (int64, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	const saturate = int64(1) << 40
 	paths := make([]int64, g.NumNodes())
@@ -56,7 +66,7 @@ func (g *Graph) PathCount() int64 {
 			}
 		}
 	}
-	return total
+	return total, nil
 }
 
 // TransitiveReduction returns a copy of the graph with every edge
@@ -64,12 +74,12 @@ func (g *Graph) PathCount() int64 {
 // attributes of surviving edges are preserved.  The reduction is the
 // minimal graph with the same reachability — useful for visualizing
 // dense generated graphs and for measuring how much of |E| is
-// redundant dependency information.  Panics on cyclic graphs (the
-// reduction is unique only for DAGs).
-func (g *Graph) TransitiveReduction() *Graph {
+// redundant dependency information.  It returns ErrCyclic (wrapped) if
+// the graph is not acyclic (the reduction is unique only for DAGs).
+func (g *Graph) TransitiveReduction() (*Graph, error) {
 	order, err := g.TopoSort()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	pos := make([]int, g.NumNodes())
 	for i, v := range order {
@@ -124,12 +134,24 @@ func (g *Graph) TransitiveReduction() *Graph {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Summary returns a one-paragraph human description including the
-// parallelism metrics.
+// parallelism metrics.  For a cyclic (hence invalid) graph it returns
+// the defect description instead.
 func (g *Graph) Summary() string {
-	st := g.ComputeStats()
-	return fmt.Sprintf("%s; width max %d, %d paths", st, g.MaxWidth(), g.PathCount())
+	st, err := g.ComputeStats()
+	if err != nil {
+		return fmt.Sprintf("%s: %v", g.name, err)
+	}
+	width, err := g.MaxWidth()
+	if err != nil {
+		return fmt.Sprintf("%s: %v", g.name, err)
+	}
+	paths, err := g.PathCount()
+	if err != nil {
+		return fmt.Sprintf("%s: %v", g.name, err)
+	}
+	return fmt.Sprintf("%s; width max %d, %d paths", st, width, paths)
 }

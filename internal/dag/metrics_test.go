@@ -6,9 +6,19 @@ import (
 	"testing/quick"
 )
 
+// must calls a no-argument accessor and fails the test on error.
+func must[T any](t *testing.T, f func() (T, error)) T {
+	t.Helper()
+	v, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestWidthProfile(t *testing.T) {
 	g := paperGraph(t)
-	widths := g.WidthProfile()
+	widths := must(t, g.WidthProfile)
 	want := []int{1, 2, 2}
 	if len(widths) != len(want) {
 		t.Fatalf("widths = %v", widths)
@@ -18,27 +28,27 @@ func TestWidthProfile(t *testing.T) {
 			t.Errorf("width[%d] = %d, want %d", i, widths[i], w)
 		}
 	}
-	if g.MaxWidth() != 2 {
-		t.Errorf("MaxWidth = %d", g.MaxWidth())
+	if got := must(t, g.MaxWidth); got != 2 {
+		t.Errorf("MaxWidth = %d", got)
 	}
-	if New("empty").MaxWidth() != 0 {
+	if got := must(t, New("empty").MaxWidth); got != 0 {
 		t.Error("empty graph MaxWidth != 0")
 	}
 }
 
 func TestPathCount(t *testing.T) {
 	// fig2b: T1 fans to T2/T3, each fans to T4/T5: 4 paths.
-	if got := paperGraph(t).PathCount(); got != 4 {
+	if got := must(t, paperGraph(t).PathCount); got != 4 {
 		t.Errorf("paths = %d, want 4", got)
 	}
 	// A lone vertex is one path.
 	g := New("one")
 	g.AddNode(Node{Kind: OpConv, Exec: 1})
-	if got := g.PathCount(); got != 1 {
+	if got := must(t, g.PathCount); got != 1 {
 		t.Errorf("single vertex paths = %d", got)
 	}
 	// Diamond: 2 paths.
-	if got := diamond(t).PathCount(); got != 2 {
+	if got := must(t, diamond(t).PathCount); got != 2 {
 		t.Errorf("diamond paths = %d, want 2", got)
 	}
 }
@@ -58,7 +68,7 @@ func TestPathCountSaturates(t *testing.T) {
 		g.AddEdge(Edge{From: b, To: join, Size: 1})
 		prev = join
 	}
-	got := g.PathCount()
+	got := must(t, g.PathCount)
 	if got <= 0 {
 		t.Fatalf("saturated count = %d; must stay positive", got)
 	}
@@ -73,7 +83,7 @@ func TestTransitiveReduction(t *testing.T) {
 	g.AddEdge(Edge{From: 0, To: 1, Size: 1})
 	g.AddEdge(Edge{From: 1, To: 2, Size: 1})
 	g.AddEdge(Edge{From: 0, To: 2, Size: 1})
-	r := g.TransitiveReduction()
+	r := must(t, g.TransitiveReduction)
 	if r.NumEdges() != 2 {
 		t.Fatalf("reduced |E| = %d, want 2", r.NumEdges())
 	}
@@ -87,7 +97,7 @@ func TestTransitiveReduction(t *testing.T) {
 
 func TestTransitiveReductionPreservesEssentialEdges(t *testing.T) {
 	g := paperGraph(t) // no redundant edges
-	r := g.TransitiveReduction()
+	r := must(t, g.TransitiveReduction)
 	if r.NumEdges() != g.NumEdges() {
 		t.Errorf("reduction removed essential edges: %d -> %d", g.NumEdges(), r.NumEdges())
 	}
@@ -98,7 +108,10 @@ func TestTransitiveReductionPreservesEssentialEdges(t *testing.T) {
 func TestTransitiveReductionProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomDAG(seed, 14, 30)
-		r := g.TransitiveReduction()
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
 		if r.NumEdges() > g.NumEdges() {
 			return false
 		}

@@ -24,6 +24,7 @@ package retime
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/dag"
 	"repro/internal/pim"
 )
@@ -311,6 +312,11 @@ func Apply(g *dag.Graph, classes []EdgeClass, a Assignment, period int) (Result,
 	for _, x := range r {
 		if x > rmax {
 			rmax = x
+		}
+	}
+	if check.Enabled() {
+		if err := check.CheckRetiming(g, r, rEdge); err != nil {
+			return Result{}, fmt.Errorf("retime: %w", err)
 		}
 	}
 	return Result{R: r, REdge: rEdge, RMax: rmax, Period: period}, nil

@@ -72,7 +72,7 @@ func ObjectiveWithPolicy(g *dag.Graph, numPEs int, policy PackPolicy) (Iteration
 		})
 		return packOrder(g, numPEs, order), nil
 	case PackLevel:
-		return packLevels(g, numPEs), nil
+		return packLevels(g, numPEs)
 	default:
 		return IterationSchedule{}, fmt.Errorf("sched: unknown packing policy %d", policy)
 	}
@@ -113,10 +113,14 @@ func packOrder(g *dag.Graph, numPEs int, order []dag.NodeID) IterationSchedule {
 }
 
 // packLevels schedules each ASAP level as a synchronized block.
-func packLevels(g *dag.Graph, numPEs int) IterationSchedule {
+func packLevels(g *dag.Graph, numPEs int) (IterationSchedule, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return IterationSchedule{}, err
+	}
 	tasks := make([]Task, g.NumNodes())
 	t := 0
-	for _, level := range g.Levels() {
+	for _, level := range levels {
 		// LPT within the level for balance.
 		order := append([]dag.NodeID(nil), level...)
 		sort.Slice(order, func(a, b int) bool {
@@ -154,5 +158,5 @@ func packLevels(g *dag.Graph, numPEs int) IterationSchedule {
 		Period:     period,
 		Tasks:      tasks,
 		Assignment: retime.AllEDRAM(g.NumEdges()),
-	}
+	}, nil
 }

@@ -4,11 +4,28 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
+
+// checkSchedule re-verifies an iteration schedule through the
+// invariant layer when checks are enabled: PE exclusivity, window
+// bounds and the cache footprint against the given capacity.
+func checkSchedule(s *IterationSchedule, cacheLoad, cacheCap int) error {
+	if !check.Enabled() {
+		return nil
+	}
+	exec := make([]int, s.Graph.NumNodes())
+	slots := make([]check.Slot, len(s.Tasks))
+	for i := range s.Tasks {
+		exec[i] = s.Graph.Node(dag.NodeID(i)).Exec
+		slots[i] = check.Slot{PE: int(s.Tasks[i].PE), Start: s.Tasks[i].Start, Finish: s.Tasks[i].Finish}
+	}
+	return check.CheckSchedule(s.PEs, s.Period, exec, slots, cacheLoad, cacheCap)
+}
 
 // transferWindowFactor sizes the minimum kernel period relative to the
 // largest eDRAM transfer time.  Theorem 3.1 only needs c_{i,j} <= p,
@@ -80,13 +97,17 @@ func Objective(g *dag.Graph, numPEs int) (IterationSchedule, error) {
 	if floor := periodFloor(g); floor > period {
 		period = floor
 	}
-	return IterationSchedule{
+	iter := IterationSchedule{
 		Graph:      g,
 		PEs:        numPEs,
 		Period:     period,
 		Tasks:      tasks,
 		Assignment: retime.AllEDRAM(g.NumEdges()),
-	}, nil
+	}
+	if err := checkSchedule(&iter, 0, 0); err != nil {
+		return IterationSchedule{}, fmt.Errorf("sched: objective: %w", err)
+	}
+	return iter, nil
 }
 
 // packedMakespan computes the LPT makespan of the execution-time
@@ -228,6 +249,12 @@ func ParaCONVGivenSchedule(g *dag.Graph, iter IterationSchedule, cfg pim.Config)
 	if err := retime.CheckLegal(g, res); err != nil {
 		return nil, fmt.Errorf("sched: para-conv produced illegal retiming: %w", err)
 	}
+	if check.Enabled() {
+		if err := check.CheckAllocation(g, alloc.Assignment, cfg.TotalCacheUnits(),
+			check.Claim{CacheUsed: alloc.CacheUsed, CachedCount: alloc.CachedCount, RMax: res.RMax}, res.R); err != nil {
+			return nil, fmt.Errorf("sched: para-conv: %w", err)
+		}
+	}
 	iter.Assignment = alloc.Assignment
 	return &Plan{
 		Scheme:               "para-conv",
@@ -274,6 +301,12 @@ func paraCONVKernel(g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
 	if err := retime.CheckLegal(g, res); err != nil {
 		return nil, fmt.Errorf("sched: para-conv produced illegal retiming: %w", err)
 	}
+	if check.Enabled() {
+		if err := check.CheckAllocation(g, alloc.Assignment, capacity,
+			check.Claim{CacheUsed: alloc.CacheUsed, CachedCount: alloc.CachedCount, RMax: res.RMax}, res.R); err != nil {
+			return nil, fmt.Errorf("sched: para-conv: %w", err)
+		}
+	}
 
 	// Replicate the group schedule across the array.
 	gu, err := dag.Replicate(g, groups)
@@ -295,6 +328,9 @@ func paraCONVKernel(g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
 		Period:     iter.Period,
 		Tasks:      tasks,
 		Assignment: retime.ExpandAssignment(alloc.Assignment, groups),
+	}
+	if err := checkSchedule(&full, groups*alloc.CacheUsed, cfg.TotalCacheUnits()); err != nil {
+		return nil, fmt.Errorf("sched: para-conv replicated kernel: %w", err)
 	}
 	return &Plan{
 		Scheme:               "para-conv",

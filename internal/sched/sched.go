@@ -108,7 +108,15 @@ func (s *IterationSchedule) Validate() error {
 		}
 		byPE[t.PE] = append(byPE[t.PE], t)
 	}
-	for pe, tasks := range byPE {
+	// Iterate PEs in sorted order so the joined error text (part of
+	// golden test output and reports) is deterministic.
+	pes := make([]pim.PEID, 0, len(byPE))
+	for pe := range byPE {
+		pes = append(pes, pe)
+	}
+	sort.Slice(pes, func(a, b int) bool { return pes[a] < pes[b] })
+	for _, pe := range pes {
+		tasks := byPE[pe]
 		sort.Slice(tasks, func(a, b int) bool { return tasks[a].Start < tasks[b].Start })
 		for i := 1; i < len(tasks); i++ {
 			if tasks[i].Start < tasks[i-1].Finish {

@@ -76,7 +76,10 @@ func TestQueueingLatencyFloor(t *testing.T) {
 	g := synthGraph(t, 25, 60, 61)
 	cfg := pim.Neurocube(16)
 	a := retime.AllCache(g.NumEdges())
-	cp, _ := g.CriticalPath()
+	cp, _, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := Queueing(g, cfg, a, 10*cp, 20, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/dag"
 	"repro/internal/pim"
 	"repro/internal/sched"
@@ -89,6 +90,11 @@ func Run(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
 	}
 	switch plan.Scheme {
 	case "para-conv":
+		if check.Enabled() {
+			if err := check.CheckRetiming(plan.Iter.Graph, plan.Retiming.R, plan.Retiming.REdge); err != nil {
+				return Stats{}, fmt.Errorf("sim: %w", err)
+			}
+		}
 		return runPipelined(plan, cfg, iterations)
 	case "sparta", "naive":
 		return runSequential(plan, cfg, iterations)

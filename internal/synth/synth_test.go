@@ -80,7 +80,10 @@ func TestGenerateAllConnectedBeyondLayer0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	levels := g.Levels()
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Every vertex outside level 0 must have a predecessor.
 	for l := 1; l < len(levels); l++ {
 		for _, v := range levels[l] {
@@ -214,8 +217,8 @@ func TestChainPreset(t *testing.T) {
 	if g.NumNodes() != 20 || g.NumEdges() != 19 {
 		t.Errorf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
 	}
-	if g.MaxWidth() != 1 {
-		t.Errorf("chain width = %d", g.MaxWidth())
+	if w, err := g.MaxWidth(); err != nil || w != 1 {
+		t.Errorf("chain width = %d (err %v)", w, err)
 	}
 	if _, err := Chain(0, 1); err == nil {
 		t.Error("Chain(0) accepted")
@@ -230,8 +233,8 @@ func TestWidePreset(t *testing.T) {
 	if g.NumNodes() != 18 || g.NumEdges() != 32 {
 		t.Errorf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
 	}
-	if g.MaxWidth() != 16 {
-		t.Errorf("wide width = %d", g.MaxWidth())
+	if w, err := g.MaxWidth(); err != nil || w != 16 {
+		t.Errorf("wide width = %d (err %v)", w, err)
 	}
 	if _, err := Wide(0, 1); err == nil {
 		t.Error("Wide(0) accepted")
@@ -251,7 +254,11 @@ func TestGridPreset(t *testing.T) {
 		t.Errorf("|E| = %d, want 31", g.NumEdges())
 	}
 	// Depth = rows + cols - 1 levels.
-	if got := len(g.Levels()); got != 8 {
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(levels); got != 8 {
 		t.Errorf("grid depth = %d, want 8", got)
 	}
 	if _, err := Grid(0, 3, 1); err == nil {

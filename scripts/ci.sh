@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate, identical to what CI runs.
+#
+# Order is cheap-to-expensive: formatting and static analysis fail in
+# seconds, the race detector and fuzz smoke run last.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== paraconv-vet"
+go run ./cmd/paraconv-vet ./...
+
+echo "== build"
+go build ./...
+
+echo "== test"
+go test ./...
+
+echo "== test -race"
+go test -race ./...
+
+echo "== fuzz smoke"
+go test -run='^$' -fuzz='^FuzzDAGCodecRoundTrip$' -fuzztime=10s ./internal/dag/
+go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
+
+echo "CI gate passed."
