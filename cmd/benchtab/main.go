@@ -3,24 +3,40 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|table1|table2|fig5|fig6|movement] [-csv] [-pes N]
+//	benchtab [-exp all|table1|table2|fig5|fig6|movement|...] [-csv]
+//	         [-pes N] [-parallel N] [-timeout D] [-cachestats]
 //
 // With -csv the selected experiment is written as CSV to stdout
 // (one experiment at a time); otherwise human-readable tables print.
 // -pes selects the PE count for the movement study (default 32).
+// -parallel fans independent experiment cells out over N workers; the
+// stdout is byte-identical to a serial run.  -timeout bounds the whole
+// invocation (the solvers and simulators are cancellable mid-loop).
+// -cachestats reports the plan cache's hit/miss/eviction counters on
+// stderr when the run completes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/run"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so deferred cleanup
+// (notably the -cachestats report) runs on every path; os.Exit inside
+// would skip it.
+func realMain() int {
 	log.SetFlags(0)
 	log.SetPrefix("benchtab: ")
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig5, fig6, movement, energy, real, compare, scalability, sensitivity, casemix, latency")
@@ -28,40 +44,65 @@ func main() {
 	pes := flag.Int("pes", 32, "PE count for the movement study")
 	outDir := flag.String("out", "", "write every experiment's CSV into this directory and exit")
 	report := flag.String("report", "", "write a full Markdown reproduction report to this file and exit")
+	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells (output is identical to -parallel 1)")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
+	cacheStats := flag.Bool("cachestats", false, "print plan-cache hit/miss/eviction counters to stderr at exit")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	session := run.New(ctx)
+	runner := bench.NewRunner(session, *parallel)
+	defer func() {
+		if *cacheStats {
+			st := session.CacheStats()
+			fmt.Fprintf(os.Stderr, "benchtab: plan cache: %d hits, %d misses, %d evictions, %d/%d entries\n",
+				st.Hits, st.Misses, st.Evictions, st.Size, st.Bound)
+		}
+	}()
 
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
-		if err := bench.WriteReport(f); err != nil {
+		if err := runner.WriteReport(f); err != nil {
 			f.Close()
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("wrote reproduction report to %s\n", *report)
-		return
+		return 0
 	}
 
 	if *outDir != "" {
-		if err := writeAllCSVs(*outDir); err != nil {
-			log.Fatal(err)
+		if err := writeAllCSVs(runner, *outDir); err != nil {
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("wrote table1.csv, table2.csv, fig5.csv, fig6.csv, energy.csv to %s\n", *outDir)
-		return
+		return 0
 	}
 
 	if *csvOut && *exp == "all" {
-		log.Fatal("-csv requires a single experiment (-exp table1|table2|fig5|fig6)")
+		log.Print("-csv requires a single experiment (-exp table1|table2|fig5|fig6)")
+		return 1
 	}
 
-	run := func(name string) error {
+	runExp := func(name string) error {
 		switch name {
 		case "table1":
-			rows, err := bench.Table1()
+			rows, err := runner.Table1()
 			if err != nil {
 				return err
 			}
@@ -71,7 +112,7 @@ func main() {
 			fmt.Println("Table 1: total execution time, SPARTA vs Para-CONV (IMP% = Para/SPARTA x100)")
 			fmt.Println(bench.FormatTable1(rows))
 		case "table2":
-			rows, err := bench.Table2()
+			rows, err := runner.Table2()
 			if err != nil {
 				return err
 			}
@@ -81,7 +122,7 @@ func main() {
 			fmt.Println("Table 2: maximum retiming value of Para-CONV")
 			fmt.Println(bench.FormatTable2(rows))
 		case "fig5":
-			rows, err := bench.Fig5()
+			rows, err := runner.Fig5()
 			if err != nil {
 				return err
 			}
@@ -92,7 +133,7 @@ func main() {
 			fmt.Println(bench.FormatFig5(rows))
 			fmt.Println(bench.ChartFig5(rows))
 		case "fig6":
-			rows, err := bench.Fig6()
+			rows, err := runner.Fig6()
 			if err != nil {
 				return err
 			}
@@ -106,7 +147,7 @@ func main() {
 			if *csvOut {
 				return fmt.Errorf("latency has no CSV writer; drop -csv")
 			}
-			rows, err := bench.Latency(*pes)
+			rows, err := runner.Latency(*pes)
 			if err != nil {
 				return err
 			}
@@ -116,7 +157,7 @@ func main() {
 			if *csvOut {
 				return fmt.Errorf("casemix has no CSV writer; drop -csv")
 			}
-			rows, err := bench.CaseMix(*pes)
+			rows, err := runner.CaseMix(*pes)
 			if err != nil {
 				return err
 			}
@@ -126,7 +167,7 @@ func main() {
 			if *csvOut {
 				return fmt.Errorf("sensitivity has no CSV writer; drop -csv")
 			}
-			rows, err := bench.Sensitivity(*pes, 0.25, 5)
+			rows, err := runner.Sensitivity(*pes, 0.25, 5)
 			if err != nil {
 				return err
 			}
@@ -136,7 +177,7 @@ func main() {
 			if *csvOut {
 				return fmt.Errorf("scalability has no CSV writer; drop -csv")
 			}
-			rows, err := bench.Scalability(*pes, nil)
+			rows, err := runner.Scalability(*pes, nil)
 			if err != nil {
 				return err
 			}
@@ -146,19 +187,19 @@ func main() {
 			if *csvOut {
 				return fmt.Errorf("compare has no CSV writer; drop -csv")
 			}
-			t1, err := bench.Table1()
+			t1, err := runner.Table1()
 			if err != nil {
 				return err
 			}
-			t2, err := bench.Table2()
+			t2, err := runner.Table2()
 			if err != nil {
 				return err
 			}
-			f5, err := bench.Fig5()
+			f5, err := runner.Fig5()
 			if err != nil {
 				return err
 			}
-			f6, err := bench.Fig6()
+			f6, err := runner.Fig6()
 			if err != nil {
 				return err
 			}
@@ -169,7 +210,7 @@ func main() {
 			fmt.Println("Qualitative trend agreement:")
 			fmt.Println(bench.FormatTrends(bench.CheckTrends(t1, t2, f5, f6)))
 		case "energy":
-			rows, err := bench.Energy(*pes)
+			rows, err := runner.Energy(*pes)
 			if err != nil {
 				return err
 			}
@@ -179,7 +220,7 @@ func main() {
 			fmt.Printf("Energy study (%d PEs, all architecture presets, %d iterations)\n", *pes, bench.Iterations)
 			fmt.Println(bench.FormatEnergy(rows))
 		case "real":
-			rows, err := bench.Table1Real()
+			rows, err := runner.Table1Real()
 			if err != nil {
 				return err
 			}
@@ -189,7 +230,7 @@ func main() {
 			fmt.Println("Table 1 over CNN-derived application graphs (real layer models)")
 			fmt.Println(bench.FormatTable1Real(rows))
 		case "movement":
-			rows, err := bench.Movement(*pes)
+			rows, err := runner.Movement(*pes)
 			if err != nil {
 				return err
 			}
@@ -208,15 +249,32 @@ func main() {
 	if *exp == "all" {
 		names = []string{"table1", "table2", "fig5", "fig6", "movement", "energy", "real", "scalability", "sensitivity", "casemix", "latency", "compare"}
 	}
+	// Run every requested experiment even if one fails; report the
+	// failures together at the end and exit nonzero.  A cancelled
+	// context (Ctrl-C or -timeout) stops the sequence at the failure
+	// point — later experiments would only repeat the same error.
+	var failures []string
 	for _, n := range names {
-		if err := run(n); err != nil {
-			log.Fatal(err)
+		if err := runExp(n); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", n, err))
+			log.Printf("experiment %s failed: %v", n, err)
+			if ctx.Err() != nil {
+				break
+			}
 		}
 	}
+	if len(failures) > 0 {
+		log.Printf("%d of %d experiments failed:", len(failures), len(names))
+		for _, f := range failures {
+			log.Printf("  %s", f)
+		}
+		return 1
+	}
+	return 0
 }
 
 // writeAllCSVs regenerates every CSV-capable experiment into dir.
-func writeAllCSVs(dir string) error {
+func writeAllCSVs(r *bench.Runner, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -231,35 +289,35 @@ func writeAllCSVs(dir string) error {
 		}
 		return f.Sync()
 	}
-	t1, err := bench.Table1()
+	t1, err := r.Table1()
 	if err != nil {
 		return err
 	}
 	if err := write("table1.csv", func(f *os.File) error { return bench.CSVTable1(f, t1) }); err != nil {
 		return err
 	}
-	t2, err := bench.Table2()
+	t2, err := r.Table2()
 	if err != nil {
 		return err
 	}
 	if err := write("table2.csv", func(f *os.File) error { return bench.CSVTable2(f, t2) }); err != nil {
 		return err
 	}
-	f5, err := bench.Fig5()
+	f5, err := r.Fig5()
 	if err != nil {
 		return err
 	}
 	if err := write("fig5.csv", func(f *os.File) error { return bench.CSVFig5(f, f5) }); err != nil {
 		return err
 	}
-	f6, err := bench.Fig6()
+	f6, err := r.Fig6()
 	if err != nil {
 		return err
 	}
 	if err := write("fig6.csv", func(f *os.File) error { return bench.CSVFig6(f, f6) }); err != nil {
 		return err
 	}
-	en, err := bench.Energy(32)
+	en, err := r.Energy(32)
 	if err != nil {
 		return err
 	}

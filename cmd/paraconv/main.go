@@ -5,24 +5,28 @@
 //
 // Usage:
 //
-//	paraconv [-pes N] [-iters N] [-gantt] [-bench name | -graph file.tg]
+//	paraconv [-pes N] [-iters N] [-gantt] [-timeout D]
+//	         [-bench name | -graph file.tg]
 //
 // The graph comes from a named paper benchmark (-bench protein) or a
 // file in the text graph format (-graph), which "-" reads from stdin.
+// Ctrl-C or -timeout cancels the solvers and simulators mid-loop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
 	"repro/internal/dag"
 	"repro/internal/opt"
 	"repro/internal/pim"
+	"repro/internal/run"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -40,7 +44,20 @@ func main() {
 	cluster := flag.Int("cluster", -1, "pre-cluster linear chains bounded by this exec time (-1 = off, 0 = unbounded)")
 	planOut := flag.String("plan", "", "write the Para-CONV plan summary (JSON) to this file")
 	schedOut := flag.String("schedule", "", "write the Para-CONV kernel schedule (CSV) to this file")
+	timeout := flag.Duration("timeout", 0, "abort planning and simulation after this duration (0 = no limit)")
 	flag.Parse()
+
+	// One session scopes the whole invocation: Ctrl-C (or -timeout)
+	// cancels the solvers and simulators mid-loop, and the baseline
+	// comparison reuses any plan the cache already holds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	session := run.New(ctx)
 
 	g, err := loadGraph(*benchName, *graphFile)
 	if err != nil {
@@ -65,11 +82,11 @@ func main() {
 	}
 	fmt.Printf("graph %s on %s (%d KB PE-array cache)\n\n", st, cfg.Name, cfg.TotalCacheBytes()/1024)
 
-	plan, err := sched.ParaCONV(g, cfg)
+	plan, err := session.Plan(g, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := sched.SPARTA(g, cfg)
+	base, err := session.Baseline(g, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +98,7 @@ func main() {
 	fmt.Printf("\nPara-CONV runs in %.1f%% of SPARTA's time (%.2fx speedup)\n", 100*ratio, 1/ratio)
 
 	for _, p := range []*sched.Plan{plan, base} {
-		stats, err := sim.Run(p, cfg, *iters)
+		stats, err := session.Simulate(p, cfg, *iters)
 		if err != nil {
 			log.Fatalf("simulating %s: %v", p.Scheme, err)
 		}
@@ -97,7 +114,7 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, *traceFmt, plan, cfg, *iters); err != nil {
+		if err := writeTrace(session, *traceOut, *traceFmt, plan, cfg, *iters); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s trace to %s\n", *traceFmt, *traceOut)
@@ -146,14 +163,14 @@ func writeFile(path string, write func(*os.File) error) error {
 
 // writeTrace re-runs the plan through the event-driven simulator and
 // writes the event log in the requested format.
-func writeTrace(path, format string, plan *sched.Plan, cfg pim.Config, iters int) error {
+func writeTrace(session *run.Session, path, format string, plan *sched.Plan, cfg pim.Config, iters int) error {
 	// Cap the traced horizon: the steady state repeats exactly, so a
 	// short run is representative and keeps files small.
 	horizon := iters
 	if horizon > 20 {
 		horizon = 20
 	}
-	_, tr, err := sim.TraceRun(plan, cfg, horizon)
+	_, tr, err := session.SimulateTrace(plan, cfg, horizon)
 	if err != nil {
 		return fmt.Errorf("tracing: %w", err)
 	}

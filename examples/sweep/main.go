@@ -8,14 +8,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	paraconv "repro"
 )
 
 func main() {
 	log.SetFlags(0)
+
+	// A Session bounds the whole sweep's wall-clock time and caches
+	// every solved plan; sweeping overlapping configurations re-plans
+	// nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	session := paraconv.NewSession(ctx)
 
 	g, err := paraconv.Synthetic(paraconv.SynthParams{
 		Name:     "sweep-subject",
@@ -36,7 +45,7 @@ func main() {
 	fmt.Println("\nPE sweep (Neurocube cache, 4 KB per PE):")
 	fmt.Printf("%6s %10s %12s %9s %7s %9s\n", "PEs", "period", "total", "iters/kt", "R_max", "prologue")
 	for _, pes := range []int{4, 8, 16, 32, 64, 128} {
-		plan, err := paraconv.Plan(g, paraconv.Neurocube(pes))
+		plan, err := session.Plan(g, paraconv.Neurocube(pes))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +63,7 @@ func main() {
 	for _, units := range []int{1, 2, 4, 8, 16, 32} {
 		cfg := paraconv.Neurocube(32)
 		cfg.CacheUnitsPerPE = units
-		plan, err := paraconv.PlanWithSchedule(g, base, cfg)
+		plan, err := session.PlanWithSchedule(g, base, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,4 +73,7 @@ func main() {
 
 	fmt.Println("\nThe PE sweep shows throughput scaling until the kernel floor binds;")
 	fmt.Println("the cache sweep shows the prologue shrinking as the DP can afford more IPRs.")
+	st2 := session.CacheStats()
+	fmt.Printf("\nplan cache: %d hits, %d misses (%d plans solved once, reused thereafter)\n",
+		st2.Hits, st2.Misses, st2.Size)
 }

@@ -7,8 +7,10 @@
 // through injected, seeded *rand.Rand values (golden experiment
 // numbers depend on it), report-emitting loops must not iterate maps
 // in hash order, library code under internal/ must return errors
-// rather than panic, and the cost/energy model must not compare floats
-// with == / !=.  Each rule is a Pass; cmd/paraconv-vet runs them all
+// rather than panic, the cost/energy model must not compare floats
+// with == / !=, and cancellation must flow through ctx parameters (or
+// the execution layer's Session) rather than contexts squirrelled away
+// in struct fields.  Each rule is a Pass; cmd/paraconv-vet runs them all
 // and exits nonzero on findings, with a .paraconv-vet-ignore allowlist
 // for grandfathered sites.
 package analysis
@@ -71,6 +73,11 @@ func AllPasses() []Pass {
 			Name: "floateq",
 			Doc:  "==/!= on floating-point expressions in the cost/energy model packages",
 			Run:  runFloatEq,
+		},
+		{
+			Name: "ctxfield",
+			Doc:  "context.Context stored in a struct field outside the sanctioned Session type; pass ctx as a parameter",
+			Run:  runCtxField,
 		},
 	}
 }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sessionPkgSuffix and sessionTypeName locate the module's one
+// sanctioned context-holding struct: the Session type of the execution
+// layer.  A Session is itself a cancellation scope — it lives exactly
+// as long as the run it governs — so storing its context is the
+// documented exception to the pass-ctx-as-a-parameter rule.
+const (
+	sessionPkgSuffix = "/internal/run"
+	sessionTypeName  = "Session"
+)
+
+// runCtxField flags struct fields of type context.Context anywhere but
+// the session type.  Contexts stored in long-lived structs outlive the
+// call they were meant to scope: cancellation stops propagating, and a
+// value cancelled long ago silently poisons every later method call.
+// The Go rule is to pass ctx as the first parameter; structs that need
+// a scope should take a *run.Session instead.
+func runCtxField(m *Module, p *Package) []Diagnostic {
+	sanctioned := p.Path == m.Path+sessionPkgSuffix
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if sanctioned && ts.Name.Name == sessionTypeName {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !isContextType(p, field.Type) {
+					continue
+				}
+				name := "embedded field"
+				if len(field.Names) > 0 {
+					name = "field " + field.Names[0].Name
+				}
+				diags = append(diags, diag(m, "ctxfield", field.Pos(),
+					"%s of struct %s stores a context.Context; pass ctx as a parameter (or take a *run.Session)",
+					name, ts.Name.Name))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isContextType reports whether the field type is context.Context,
+// preferring type information and falling back to the syntactic
+// `context.Context` selector when type checking could not resolve it.
+func isContextType(p *Package, expr ast.Expr) bool {
+	if p.Info != nil {
+		if tv, ok := p.Info.Types[expr]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				return obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "context" && obj.Name() == "Context"
+			}
+			return false
+		}
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}

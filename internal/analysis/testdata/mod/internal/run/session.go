@@ -1,0 +1,33 @@
+// Package run mirrors the real module's execution layer for the
+// ctxfield pass: its Session type is the one struct allowed to hold a
+// context.Context; everything else in the package is still policed.
+package run
+
+import "context"
+
+// Session is the sanctioned context-in-struct exception; never flagged.
+type Session struct {
+	ctx   context.Context
+	cache map[string]int
+}
+
+// New returns a Session scoped to ctx.
+func New(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{ctx: ctx, cache: map[string]int{}}
+}
+
+// Context returns the session's scope.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// worker is in the sanctioned package but is not the Session type, so
+// its stored context is still flagged.
+type worker struct {
+	id  int
+	ctx context.Context // want ctxfield
+}
+
+// Run keeps the worker type referenced.
+func (w *worker) Run() error { return w.ctx.Err() }

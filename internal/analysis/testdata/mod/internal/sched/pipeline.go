@@ -1,0 +1,28 @@
+package sched
+
+import "context"
+
+// pipeline stores a context in a struct field outside the sanctioned
+// session type; flagged.
+type pipeline struct {
+	name string
+	ctx  context.Context // want ctxfield
+}
+
+// tracer embeds a context anonymously; flagged the same way.
+type tracer struct {
+	context.Context // want ctxfield
+	events          []string
+}
+
+// Drain passes ctx as a parameter — the approved shape, never flagged.
+func Drain(ctx context.Context, p *pipeline) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = p.name
+	return nil
+}
+
+// Trace keeps the tracer type referenced.
+func Trace(t *tracer) int { return len(t.events) }

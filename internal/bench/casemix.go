@@ -23,24 +23,33 @@ func (r CaseMixRow) Profitable() int {
 	return r.Counts[retime.Case2] + r.Counts[retime.Case3] + r.Counts[retime.Case5]
 }
 
+// CaseMix runs the classification on the default runner.
+func CaseMix(pes int) ([]CaseMixRow, error) { return DefaultRunner().CaseMix(pes) }
+
 // CaseMix classifies every benchmark's IPRs against the a-priori
-// objective schedule (Figure 4's six cases, §3.2).
-func CaseMix(pes int) ([]CaseMixRow, error) {
-	rows := make([]CaseMixRow, 0, len(Suite))
-	for _, b := range Suite {
+// objective schedule (Figure 4's six cases, §3.2).  One benchmark is
+// one pool job.
+func (r *Runner) CaseMix(pes int) ([]CaseMixRow, error) {
+	rows := make([]CaseMixRow, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iter, err := sched.Objective(g, pes)
 		if err != nil {
-			return nil, fmt.Errorf("bench: case mix %s: %w", b.Name, err)
+			return fmt.Errorf("bench: case mix %s: %w", b.Name, err)
 		}
 		classes, err := retime.Classify(g, iter.Timing())
 		if err != nil {
-			return nil, fmt.Errorf("bench: case mix %s: %w", b.Name, err)
+			return fmt.Errorf("bench: case mix %s: %w", b.Name, err)
 		}
-		rows = append(rows, CaseMixRow{Benchmark: b, Counts: retime.CaseHistogram(classes)})
+		rows[i] = CaseMixRow{Benchmark: b, Counts: retime.CaseHistogram(classes)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -9,8 +9,6 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/pim"
-	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // EnergyRow is one benchmark's data-movement energy on one
@@ -35,39 +33,44 @@ func (r EnergyRow) Saving() float64 {
 	return 1 - r.ParaPJ/r.SpartaPJ
 }
 
+// Energy measures data-movement energy on the default runner.
+func Energy(pes int) ([]EnergyRow, error) { return DefaultRunner().Energy(pes) }
+
 // Energy measures data-movement energy for every benchmark on every
-// built-in architecture preset at the given PE count.
-func Energy(pes int) ([]EnergyRow, error) {
-	var rows []EnergyRow
-	for _, cfg := range pim.Presets(pes) {
-		for _, b := range Suite {
-			g, err := b.Graph()
-			if err != nil {
-				return nil, err
-			}
-			pc, err := sched.ParaCONVSingle(g, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
-			}
-			sp, err := sched.SPARTA(g, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
-			}
-			pcStats, err := sim.Run(pc, cfg, Iterations)
-			if err != nil {
-				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
-			}
-			spStats, err := sim.Run(sp, cfg, Iterations)
-			if err != nil {
-				return nil, fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
-			}
-			rows = append(rows, EnergyRow{
-				Benchmark: b,
-				Arch:      cfg.Name,
-				ParaPJ:    pcStats.EnergyPJ,
-				SpartaPJ:  spStats.EnergyPJ,
-			})
+// built-in architecture preset at the given PE count.  Each
+// (architecture, benchmark, planner) cell is one pool job; the two
+// cells of a row write disjoint fields.
+func (r *Runner) Energy(pes int) ([]EnergyRow, error) {
+	presets := pim.Presets(pes)
+	rows := make([]EnergyRow, len(presets)*len(Suite))
+	for ai, cfg := range presets {
+		for bi, b := range Suite {
+			rows[ai*len(Suite)+bi] = EnergyRow{Benchmark: b, Arch: cfg.Name}
 		}
+	}
+	kinds := []planKind{planParaSingle, planSPARTA}
+	err := r.runJobs(len(rows)*len(kinds), func(i int) error {
+		ri := i / len(kinds)
+		kind := kinds[i%len(kinds)]
+		cfg := presets[ri/len(Suite)]
+		b := Suite[ri%len(Suite)]
+		g, err := b.Graph()
+		if err != nil {
+			return err
+		}
+		_, stats, err := r.simCell(g, cfg, kind, Iterations)
+		if err != nil {
+			return fmt.Errorf("bench: energy %s on %s: %w", b.Name, cfg.Name, err)
+		}
+		if kind == planParaSingle {
+			rows[ri].ParaPJ = stats.EnergyPJ
+		} else {
+			rows[ri].SpartaPJ = stats.EnergyPJ
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

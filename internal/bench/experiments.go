@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/pim"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // Table1Row is one benchmark's row of Table 1: total execution time of
@@ -28,30 +27,45 @@ func (r Table1Row) Ratio(i int) float64 {
 // index i.
 func (r Table1Row) Reduction(i int) float64 { return 1 - r.Ratio(i) }
 
+// Table1 regenerates Table 1 on the default runner.
+func Table1() ([]Table1Row, error) { return DefaultRunner().Table1() }
+
 // Table1 regenerates Table 1: total execution time of SPARTA and
-// Para-CONV on 16, 32 and 64 PEs for every benchmark.
-func Table1() ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(Suite))
-	for _, b := range Suite {
+// Para-CONV on 16, 32 and 64 PEs for every benchmark.  Each
+// (benchmark, PE count, planner) cell is one pool job.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, len(Suite))
+	for i, b := range Suite {
+		rows[i] = Table1Row{
+			Benchmark: b,
+			Sparta:    make([]int, len(PECounts)),
+			ParaCONV:  make([]int, len(PECounts)),
+		}
+	}
+	kinds := []planKind{planSPARTA, planParaCONV}
+	n := len(Suite) * len(PECounts) * len(kinds)
+	err := r.runJobs(n, func(i int) error {
+		bi := i / (len(PECounts) * len(kinds))
+		pi := i / len(kinds) % len(PECounts)
+		kind := kinds[i%len(kinds)]
+		b := Suite[bi]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Table1Row{Benchmark: b}
-		for _, pes := range PECounts {
-			cfg := pim.Neurocube(pes)
-			sp, err := sched.SPARTA(g, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table1 %s sparta %d PEs: %w", b.Name, pes, err)
-			}
-			pc, err := sched.ParaCONV(g, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table1 %s para-conv %d PEs: %w", b.Name, pes, err)
-			}
-			row.Sparta = append(row.Sparta, sp.TotalTime(Iterations))
-			row.ParaCONV = append(row.ParaCONV, pc.TotalTime(Iterations))
+		plan, err := r.planCell(g, pim.Neurocube(PECounts[pi]), kind)
+		if err != nil {
+			return fmt.Errorf("bench: table1 %s %s %d PEs: %w", b.Name, kind, PECounts[pi], err)
 		}
-		rows = append(rows, row)
+		if kind == planSPARTA {
+			rows[bi].Sparta[pi] = plan.TotalTime(Iterations)
+		} else {
+			rows[bi].ParaCONV[pi] = plan.TotalTime(Iterations)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -72,32 +86,41 @@ func (r Table2Row) Average() float64 {
 	return float64(sum) / float64(len(r.RMax))
 }
 
+// Table2 regenerates Table 2 on the default runner.
+func Table2() ([]Table2Row, error) { return DefaultRunner().Table2() }
+
 // Table2 regenerates Table 2: the maximum retiming value of Para-CONV
 // on 16, 32 and 64 PEs.  Following §3.3.3, the objective schedule is a
 // property of the application, fixed a-priori (we compact it once, on
 // the smallest array of the sweep); the PE count then enters the
 // optimization through the aggregate cache capacity, so R_max falls as
-// the array grows.
-func Table2() ([]Table2Row, error) {
-	rows := make([]Table2Row, 0, len(Suite))
-	for _, b := range Suite {
+// the array grows.  One benchmark is one pool job (its PE sweep reuses
+// the benchmark's objective schedule).
+func (r *Runner) Table2() ([]Table2Row, error) {
+	rows := make([]Table2Row, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := sched.Objective(g, PECounts[0])
 		if err != nil {
-			return nil, fmt.Errorf("bench: table2 %s objective: %w", b.Name, err)
+			return fmt.Errorf("bench: table2 %s objective: %w", b.Name, err)
 		}
-		row := Table2Row{Benchmark: b}
-		for _, pes := range PECounts {
-			plan, err := sched.ParaCONVGivenSchedule(g, base, pim.Neurocube(pes))
+		row := Table2Row{Benchmark: b, RMax: make([]int, len(PECounts))}
+		for pi, pes := range PECounts {
+			plan, err := r.Session.PlanWithSchedule(g, base, pim.Neurocube(pes))
 			if err != nil {
-				return nil, fmt.Errorf("bench: table2 %s %d PEs: %w", b.Name, pes, err)
+				return fmt.Errorf("bench: table2 %s %d PEs: %w", b.Name, pes, err)
 			}
-			row.RMax = append(row.RMax, plan.RMax)
+			row.RMax[pi] = plan.RMax
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -112,29 +135,39 @@ type Fig5Row struct {
 	Normalized []float64
 }
 
+// Fig5 regenerates Figure 5 on the default runner.
+func Fig5() ([]Fig5Row, error) { return DefaultRunner().Fig5() }
+
 // Fig5 regenerates Figure 5: Para-CONV's per-iteration execution time
-// on 16, 32 and 64 PEs, normalized to SPARTA on 64 PEs.
-func Fig5() ([]Fig5Row, error) {
-	rows := make([]Fig5Row, 0, len(Suite))
-	for _, b := range Suite {
+// on 16, 32 and 64 PEs, normalized to SPARTA on 64 PEs.  One benchmark
+// is one pool job; the solves themselves are shared with Table 1
+// through the session's plan cache.
+func (r *Runner) Fig5() ([]Fig5Row, error) {
+	rows := make([]Fig5Row, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp64, err := sched.SPARTA(g, pim.Neurocube(PECounts[len(PECounts)-1]))
+		sp64, err := r.planCell(g, pim.Neurocube(PECounts[len(PECounts)-1]), planSPARTA)
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig5 %s baseline: %w", b.Name, err)
+			return fmt.Errorf("bench: fig5 %s baseline: %w", b.Name, err)
 		}
 		base := sp64.IterationTime()
-		row := Fig5Row{Benchmark: b}
-		for _, pes := range PECounts {
-			pc, err := sched.ParaCONV(g, pim.Neurocube(pes))
+		row := Fig5Row{Benchmark: b, Normalized: make([]float64, len(PECounts))}
+		for pi, pes := range PECounts {
+			pc, err := r.planCell(g, pim.Neurocube(pes), planParaCONV)
 			if err != nil {
-				return nil, fmt.Errorf("bench: fig5 %s %d PEs: %w", b.Name, pes, err)
+				return fmt.Errorf("bench: fig5 %s %d PEs: %w", b.Name, pes, err)
 			}
-			row.Normalized = append(row.Normalized, pc.IterationTime()/base)
+			row.Normalized[pi] = pc.IterationTime() / base
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -146,32 +179,41 @@ type Fig6Row struct {
 	Cached    []int
 }
 
+// Fig6 regenerates Figure 6 on the default runner.
+func Fig6() ([]Fig6Row, error) { return DefaultRunner().Fig6() }
+
 // Fig6 regenerates Figure 6: the number of IPRs Para-CONV allocates to
 // on-chip cache on 16, 32 and 64 PEs.  Like Table 2 it evaluates the
 // a-priori objective schedule under the growing array, so the counts
 // rise with capacity and saturate once every IPR that exists fits —
 // the paper's observation that 32 PEs already exhaust most benchmarks'
-// concurrency.
-func Fig6() ([]Fig6Row, error) {
-	rows := make([]Fig6Row, 0, len(Suite))
-	for _, b := range Suite {
+// concurrency.  One benchmark is one pool job; the given-schedule
+// solves are shared with Table 2 through the plan cache.
+func (r *Runner) Fig6() ([]Fig6Row, error) {
+	rows := make([]Fig6Row, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := sched.Objective(g, PECounts[0])
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig6 %s objective: %w", b.Name, err)
+			return fmt.Errorf("bench: fig6 %s objective: %w", b.Name, err)
 		}
-		row := Fig6Row{Benchmark: b}
-		for _, pes := range PECounts {
-			plan, err := sched.ParaCONVGivenSchedule(g, base, pim.Neurocube(pes))
+		row := Fig6Row{Benchmark: b, Cached: make([]int, len(PECounts))}
+		for pi, pes := range PECounts {
+			plan, err := r.Session.PlanWithSchedule(g, base, pim.Neurocube(pes))
 			if err != nil {
-				return nil, fmt.Errorf("bench: fig6 %s %d PEs: %w", b.Name, pes, err)
+				return fmt.Errorf("bench: fig6 %s %d PEs: %w", b.Name, pes, err)
 			}
-			row.Cached = append(row.Cached, plan.CachedIPRs)
+			row.Cached[pi] = plan.CachedIPRs
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -189,39 +231,42 @@ type MovementRow struct {
 	ParaEnergyPJ   float64
 }
 
+// Movement measures data movement on the default runner.
+func Movement(pes int) ([]MovementRow, error) { return DefaultRunner().Movement(pes) }
+
 // Movement measures per-benchmark data movement at the given PE count.
-func Movement(pes int) ([]MovementRow, error) {
+// Each (benchmark, planner) cell is one pool job; the two cells of a
+// row write disjoint fields.
+func (r *Runner) Movement(pes int) ([]MovementRow, error) {
 	cfg := pim.Neurocube(pes)
-	rows := make([]MovementRow, 0, len(Suite))
-	for _, b := range Suite {
+	rows := make([]MovementRow, len(Suite))
+	for i, b := range Suite {
+		rows[i] = MovementRow{Benchmark: b, PEs: pes}
+	}
+	kinds := []planKind{planSPARTA, planParaSingle}
+	err := r.runJobs(len(Suite)*len(kinds), func(i int) error {
+		bi := i / len(kinds)
+		kind := kinds[i%len(kinds)]
+		b := Suite[bi]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp, err := sched.SPARTA(g, cfg)
+		_, stats, err := r.simCell(g, cfg, kind, Iterations)
 		if err != nil {
-			return nil, fmt.Errorf("bench: movement %s sparta: %w", b.Name, err)
+			return fmt.Errorf("bench: movement %s %s: %w", b.Name, kind, err)
 		}
-		pc, err := sched.ParaCONVSingle(g, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: movement %s para-conv: %w", b.Name, err)
+		if kind == planSPARTA {
+			rows[bi].SpartaEDRAM = stats.EDRAMBytes
+			rows[bi].SpartaEnergyPJ = stats.EnergyPJ
+		} else {
+			rows[bi].ParaEDRAM = stats.EDRAMBytes
+			rows[bi].ParaEnergyPJ = stats.EnergyPJ
 		}
-		spStats, err := sim.Run(sp, cfg, Iterations)
-		if err != nil {
-			return nil, fmt.Errorf("bench: movement %s sparta sim: %w", b.Name, err)
-		}
-		pcStats, err := sim.Run(pc, cfg, Iterations)
-		if err != nil {
-			return nil, fmt.Errorf("bench: movement %s para-conv sim: %w", b.Name, err)
-		}
-		rows = append(rows, MovementRow{
-			Benchmark:      b,
-			PEs:            pes,
-			SpartaEDRAM:    spStats.EDRAMBytes,
-			ParaEDRAM:      pcStats.EDRAMBytes,
-			SpartaEnergyPJ: spStats.EnergyPJ,
-			ParaEnergyPJ:   pcStats.EnergyPJ,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

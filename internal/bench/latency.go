@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/pim"
-	"repro/internal/sched"
 )
 
 // LatencyRow exposes the latency/throughput trade-off the paper leaves
@@ -43,30 +42,40 @@ func (r LatencyRow) BreakEvenIterations() int {
 	return -1
 }
 
-// Latency computes the study at the given PE count.
-func Latency(pes int) ([]LatencyRow, error) {
+// Latency computes the study on the default runner.
+func Latency(pes int) ([]LatencyRow, error) { return DefaultRunner().Latency(pes) }
+
+// Latency computes the study at the given PE count.  One benchmark is
+// one pool job; the solves are shared with Table 1 through the plan
+// cache.
+func (r *Runner) Latency(pes int) ([]LatencyRow, error) {
 	cfg := pim.Neurocube(pes)
-	rows := make([]LatencyRow, 0, len(Suite))
-	for _, b := range Suite {
+	rows := make([]LatencyRow, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pc, err := sched.ParaCONV(g, cfg)
+		pc, err := r.planCell(g, cfg, planParaCONV)
 		if err != nil {
-			return nil, fmt.Errorf("bench: latency %s: %w", b.Name, err)
+			return fmt.Errorf("bench: latency %s: %w", b.Name, err)
 		}
-		sp, err := sched.SPARTA(g, cfg)
+		sp, err := r.planCell(g, cfg, planSPARTA)
 		if err != nil {
-			return nil, fmt.Errorf("bench: latency %s: %w", b.Name, err)
+			return fmt.Errorf("bench: latency %s: %w", b.Name, err)
 		}
-		rows = append(rows, LatencyRow{
+		rows[i] = LatencyRow{
 			Benchmark:        b,
 			ParaLatency:      (pc.RMax + 1) * pc.Iter.Period,
 			ParaThroughput:   float64(pc.ConcurrentIterations) / float64(pc.Iter.Period),
 			SpartaLatency:    sp.Iter.Period,
 			SpartaThroughput: 1 / float64(sp.Iter.Period),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

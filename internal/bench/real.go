@@ -2,11 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cnn"
 	"repro/internal/dag"
 	"repro/internal/pim"
-	"repro/internal/sched"
 )
 
 // The quantitative reproduction uses synthetic graphs with the paper's
@@ -16,18 +16,31 @@ import (
 // BenchmarkNetwork), which exercises the full front end and shows that
 // the headline result is not an artifact of the generator.
 
+// realGraphMemo memoizes CNN lowering per application name, mirroring
+// Benchmark.Graph's memoization: one lowering per process, one shared
+// *dag.Graph pointer for every experiment that asks.
+var realGraphMemo sync.Map // string -> *graphOnce
+
 // RealGraph lowers the named application's layer model to a task
-// graph under the Neurocube latency model.
+// graph under the Neurocube latency model.  The result is memoized
+// per name.
 func RealGraph(name string) (*dag.Graph, error) {
-	net, err := cnn.BenchmarkNetwork(name)
-	if err != nil {
-		return nil, err
-	}
-	g, err := cnn.ToTaskGraph(net, cnn.LowerOptions{Arch: pim.Neurocube(PECounts[0])})
-	if err != nil {
-		return nil, fmt.Errorf("bench: lowering %q: %w", name, err)
-	}
-	return g, nil
+	v, _ := realGraphMemo.LoadOrStore(name, &graphOnce{})
+	m := v.(*graphOnce)
+	m.once.Do(func() {
+		net, err := cnn.BenchmarkNetwork(name)
+		if err != nil {
+			m.err = err
+			return
+		}
+		g, err := cnn.ToTaskGraph(net, cnn.LowerOptions{Arch: pim.Neurocube(PECounts[0])})
+		if err != nil {
+			m.err = fmt.Errorf("bench: lowering %q: %w", name, err)
+			return
+		}
+		m.g = g
+	})
+	return m.g, m.err
 }
 
 // RealTable1Row mirrors Table1Row for the CNN-derived graphs.
@@ -45,30 +58,47 @@ func (r RealTable1Row) Ratio(i int) float64 {
 	return float64(r.ParaCONV[i]) / float64(r.Sparta[i])
 }
 
+// Table1Real runs the real-graph Table 1 on the default runner.
+func Table1Real() ([]RealTable1Row, error) { return DefaultRunner().Table1Real() }
+
 // Table1Real runs the Table 1 experiment over the CNN-derived
-// application graphs instead of the exact-size synthetic suite.
-func Table1Real() ([]RealTable1Row, error) {
-	var rows []RealTable1Row
-	for _, name := range cnn.BenchmarkNetworkNames() {
+// application graphs instead of the exact-size synthetic suite.  One
+// application is one pool job (its first job also pays the memoized
+// lowering).
+func (r *Runner) Table1Real() ([]RealTable1Row, error) {
+	names := cnn.BenchmarkNetworkNames()
+	rows := make([]RealTable1Row, len(names))
+	err := r.runJobs(len(names), func(i int) error {
+		name := names[i]
 		g, err := RealGraph(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := RealTable1Row{Name: name, Vertices: g.NumNodes(), Edges: g.NumEdges()}
-		for _, pes := range PECounts {
+		row := RealTable1Row{
+			Name:     name,
+			Vertices: g.NumNodes(),
+			Edges:    g.NumEdges(),
+			Sparta:   make([]int, len(PECounts)),
+			ParaCONV: make([]int, len(PECounts)),
+		}
+		for pi, pes := range PECounts {
 			cfg := pim.Neurocube(pes)
-			sp, err := sched.SPARTA(g, cfg)
+			sp, err := r.planCell(g, cfg, planSPARTA)
 			if err != nil {
-				return nil, fmt.Errorf("bench: real table1 %s sparta %d PEs: %w", name, pes, err)
+				return fmt.Errorf("bench: real table1 %s sparta %d PEs: %w", name, pes, err)
 			}
-			pc, err := sched.ParaCONV(g, cfg)
+			pc, err := r.planCell(g, cfg, planParaCONV)
 			if err != nil {
-				return nil, fmt.Errorf("bench: real table1 %s para-conv %d PEs: %w", name, pes, err)
+				return fmt.Errorf("bench: real table1 %s para-conv %d PEs: %w", name, pes, err)
 			}
-			row.Sparta = append(row.Sparta, sp.TotalTime(Iterations))
-			row.ParaCONV = append(row.ParaCONV, pc.TotalTime(Iterations))
+			row.Sparta[pi] = sp.TotalTime(Iterations)
+			row.ParaCONV[pi] = pc.TotalTime(Iterations)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

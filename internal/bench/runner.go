@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/run"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Runner executes the experiment suite over a shared run.Session: one
+// context governs cancellation for every solve, one plan cache is
+// shared by every cell, and a bounded worker pool fans the independent
+// cells out.  Results are always written into index-addressed slots,
+// so the output of a parallel run is byte-identical to a serial one.
+type Runner struct {
+	// Session supplies the context and the plan cache.  Must be
+	// non-nil; use NewRunner.
+	Session *run.Session
+	// Parallel is the worker count for the job pool; values <= 1 run
+	// every job serially on the calling goroutine.
+	Parallel int
+}
+
+// NewRunner returns a Runner over the given session.  A nil session
+// gets a fresh background session with the default cache bound.
+func NewRunner(s *run.Session, parallel int) *Runner {
+	if s == nil {
+		s = run.New(context.Background())
+	}
+	return &Runner{Session: s, Parallel: parallel}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultRunner *Runner
+)
+
+// DefaultRunner returns the shared serial runner behind the package's
+// free experiment functions.  Sharing one runner (hence one session)
+// across calls is what lets Table1 solves be reused by the comparison,
+// figure and latency experiments.
+func DefaultRunner() *Runner {
+	defaultOnce.Do(func() {
+		defaultRunner = NewRunner(run.New(context.Background()), 1)
+	})
+	return defaultRunner
+}
+
+// runJobs executes jobs 0..n-1 on the runner's worker pool.  Jobs must
+// write their results into index-addressed slots (never append) so
+// completion order cannot influence output.  With one worker the jobs
+// run in order on the calling goroutine and the first error aborts the
+// loop immediately; with more workers, dispatch stops at the first
+// failure, in-flight jobs drain, and the lowest-index error is
+// returned — the same error a serial run would have surfaced.
+func (r *Runner) runJobs(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed bool
+	)
+	errs := make([]error, n)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			mu.Lock()
+			stop := failed
+			mu.Unlock()
+			if stop {
+				return
+			}
+			idx <- i
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := job(i); err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planKind selects which planner evaluates an experiment cell.
+type planKind int
+
+const (
+	planSPARTA planKind = iota
+	planParaCONV
+	planParaSingle
+	planNaive
+)
+
+// String implements fmt.Stringer for error messages.
+func (k planKind) String() string {
+	switch k {
+	case planSPARTA:
+		return "sparta"
+	case planParaCONV:
+		return "para-conv"
+	case planParaSingle:
+		return "para-conv-single"
+	case planNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("planKind(%d)", int(k))
+	}
+}
+
+// planCell solves one (graph, architecture, planner) cell through the
+// session's plan cache — the shared evaluation step behind every
+// Table-1-shaped experiment (Table 1, movement, energy, latency,
+// scalability, sensitivity and the real-graph table).
+func (r *Runner) planCell(g *dag.Graph, cfg pim.Config, kind planKind) (*sched.Plan, error) {
+	switch kind {
+	case planSPARTA:
+		return r.Session.Baseline(g, cfg)
+	case planParaCONV:
+		return r.Session.Plan(g, cfg)
+	case planParaSingle:
+		return r.Session.PlanSingle(g, cfg)
+	case planNaive:
+		return r.Session.BaselineNaive(g, cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown plan kind %d", int(kind))
+	}
+}
+
+// simCell plans one cell and runs the closed-form simulator on it.
+func (r *Runner) simCell(g *dag.Graph, cfg pim.Config, kind planKind, iterations int) (*sched.Plan, sim.Stats, error) {
+	plan, err := r.planCell(g, cfg, kind)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	stats, err := r.Session.Simulate(plan, cfg, iterations)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	return plan, stats, nil
+}
+
+// pairRatio is the headline metric of the reproduction for one cell:
+// Para-CONV's total time over SPARTA's on the same graph and
+// architecture.
+func (r *Runner) pairRatio(g *dag.Graph, cfg pim.Config) (float64, error) {
+	pc, err := r.planCell(g, cfg, planParaCONV)
+	if err != nil {
+		return 0, err
+	}
+	sp, err := r.planCell(g, cfg, planSPARTA)
+	if err != nil {
+		return 0, err
+	}
+	return float64(pc.TotalTime(Iterations)) / float64(sp.TotalTime(Iterations)), nil
+}

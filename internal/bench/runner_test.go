@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/run"
+)
+
+// TestParallelMatchesSerial is the determinism contract of the worker
+// pool: the full report (every experiment, every formatted table)
+// rendered by an 8-worker runner must be byte-identical to the serial
+// one.  Run with -race this also stresses the pool, the plan cache
+// and the graph memoization under concurrency.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := NewRunner(run.New(context.Background()), 1)
+	parallel := NewRunner(run.New(context.Background()), 8)
+
+	var want, got bytes.Buffer
+	if err := serial.WriteReport(&want); err != nil {
+		t.Fatalf("serial report: %v", err)
+	}
+	if err := parallel.WriteReport(&got); err != nil {
+		t.Fatalf("parallel report: %v", err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("parallel report differs from serial (serial %d bytes, parallel %d bytes)",
+			want.Len(), got.Len())
+	}
+	// The parallel run's session must have reused solves across
+	// experiments — the whole point of sharing one cache.
+	if st := parallel.Session.CacheStats(); st.Hits == 0 {
+		t.Errorf("parallel run recorded no cache hits: %+v", st)
+	}
+}
+
+// TestGraphMemoized asserts Benchmark.Graph generates each graph once:
+// concurrent callers share one pointer and the generation counter
+// moves exactly once per distinct benchmark value.
+func TestGraphMemoized(t *testing.T) {
+	b := Benchmark{Name: "memo-regression", Vertices: 46, Edges: 121, Seed: 424242}
+	before := GraphGenerations()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		graphs = make(map[interface{}]bool)
+	)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := b.Graph()
+			if err != nil {
+				t.Errorf("Graph: %v", err)
+				return
+			}
+			mu.Lock()
+			graphs[g] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(graphs) != 1 {
+		t.Fatalf("16 concurrent Graph() calls produced %d distinct pointers; want 1", len(graphs))
+	}
+	if delta := GraphGenerations() - before; delta != 1 {
+		t.Fatalf("generation counter moved by %d for one new benchmark; want 1", delta)
+	}
+	// Repeated calls stay free.
+	if _, err := b.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := GraphGenerations() - before; delta != 1 {
+		t.Fatalf("re-request regenerated the graph (delta %d)", delta)
+	}
+}
+
+// TestRunJobsLowestIndexError pins the pool's error determinism: when
+// several jobs fail, the error a caller sees is the lowest-index one —
+// the same failure a serial sweep would have hit first.
+func TestRunJobsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		r := NewRunner(run.New(context.Background()), workers)
+		err := r.runJobs(100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v; want job 3's error", workers, err)
+		}
+	}
+}
+
+// TestRunJobsCancellation: a cancelled session context surfaces as
+// context.Canceled from the experiment, not a partial result.
+func TestRunJobsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(run.New(ctx), 4)
+	_, err := r.Table1()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table1 under cancelled ctx = %v; want context.Canceled", err)
+	}
+}

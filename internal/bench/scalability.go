@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/pim"
-	"repro/internal/sched"
 	"repro/internal/synth"
 )
 
@@ -25,16 +24,24 @@ type ScalabilityRow struct {
 	CachedIPRs int
 }
 
+// Scalability sweeps synthetic graph sizes on the default runner.
+func Scalability(pes int, sizes []int) ([]ScalabilityRow, error) {
+	return DefaultRunner().Scalability(pes, sizes)
+}
+
 // Scalability sweeps synthetic graph sizes at the given PE count,
 // showing that the advantage and the planner's outputs behave
-// smoothly beyond the paper's largest benchmark.
-func Scalability(pes int, sizes []int) ([]ScalabilityRow, error) {
+// smoothly beyond the paper's largest benchmark.  One graph size is
+// one pool job (the biggest sizes dominate, so finer cells would not
+// help wall clock).
+func (r *Runner) Scalability(pes int, sizes []int) ([]ScalabilityRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{128, 256, 512, 1024, 2048}
 	}
 	cfg := pim.Neurocube(pes)
-	rows := make([]ScalabilityRow, 0, len(sizes))
-	for _, v := range sizes {
+	rows := make([]ScalabilityRow, len(sizes))
+	err := r.runJobs(len(sizes), func(i int) error {
+		v := sizes[i]
 		e := v * 26 / 10 // the suite's |E|/|V| is about 2.6
 		g, err := synth.Generate(synth.Params{
 			Name:     fmt.Sprintf("scale-%d", v),
@@ -43,24 +50,28 @@ func Scalability(pes int, sizes []int) ([]ScalabilityRow, error) {
 			Seed:     int64(9000 + v),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bench: scalability %d: %w", v, err)
+			return fmt.Errorf("bench: scalability %d: %w", v, err)
 		}
-		pc, err := sched.ParaCONV(g, cfg)
+		pc, err := r.planCell(g, cfg, planParaCONV)
 		if err != nil {
-			return nil, fmt.Errorf("bench: scalability %d para-conv: %w", v, err)
+			return fmt.Errorf("bench: scalability %d para-conv: %w", v, err)
 		}
-		sp, err := sched.SPARTA(g, cfg)
+		sp, err := r.planCell(g, cfg, planSPARTA)
 		if err != nil {
-			return nil, fmt.Errorf("bench: scalability %d sparta: %w", v, err)
+			return fmt.Errorf("bench: scalability %d sparta: %w", v, err)
 		}
-		rows = append(rows, ScalabilityRow{
+		rows[i] = ScalabilityRow{
 			Vertices:   v,
 			Edges:      e,
 			Ratio:      float64(pc.TotalTime(Iterations)) / float64(sp.TotalTime(Iterations)),
 			RMax:       pc.RMax,
 			Period:     pc.Iter.Period,
 			CachedIPRs: pc.CachedIPRs,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/pim"
-	"repro/internal/sched"
 )
 
 // SensitivityRow summarizes how one benchmark's Para-CONV outcome
@@ -30,10 +29,18 @@ type SensitivityRow struct {
 	Trials int
 }
 
+// Sensitivity runs the perturbation study on the default runner.
+func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
+	return DefaultRunner().Sensitivity(pes, noise, trials)
+}
+
 // Sensitivity perturbs every execution time by up to ±noise
 // (fraction, e.g. 0.25) across `trials` seeded replans of each
-// benchmark and reports the spread of the headline outputs.
-func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
+// benchmark and reports the spread of the headline outputs.  One
+// benchmark is one pool job, and each job owns a *rand.Rand seeded
+// from the benchmark — trials are deterministic regardless of which
+// worker runs them.
+func (r *Runner) Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
 	if noise <= 0 || noise >= 1 {
 		return nil, fmt.Errorf("bench: sensitivity noise %g; want in (0,1)", noise)
 	}
@@ -41,15 +48,16 @@ func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
 		return nil, fmt.Errorf("bench: sensitivity trials %d; want >= 1", trials)
 	}
 	cfg := pim.Neurocube(pes)
-	var rows []SensitivityRow
-	for _, b := range Suite {
+	rows := make([]SensitivityRow, len(Suite))
+	err := r.runJobs(len(Suite), func(i int) error {
+		b := Suite[i]
 		g, err := b.Graph()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := ratioOf(g, cfg)
+		base, err := r.pairRatio(g, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("bench: sensitivity %s: %w", b.Name, err)
+			return fmt.Errorf("bench: sensitivity %s: %w", b.Name, err)
 		}
 		row := SensitivityRow{
 			Benchmark: b,
@@ -62,9 +70,9 @@ func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
 		rng := rand.New(rand.NewSource(b.Seed * 7919))
 		for trial := 0; trial < trials; trial++ {
 			pg := Perturb(g, noise, rng)
-			ratio, err := ratioOf(pg, cfg)
+			ratio, err := r.pairRatio(pg, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("bench: sensitivity %s trial %d: %w", b.Name, trial, err)
+				return fmt.Errorf("bench: sensitivity %s trial %d: %w", b.Name, trial, err)
 			}
 			if ratio < row.MinRatio {
 				row.MinRatio = ratio
@@ -72,9 +80,9 @@ func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
 			if ratio > row.MaxRatio {
 				row.MaxRatio = ratio
 			}
-			plan, err := sched.ParaCONV(pg, cfg)
+			plan, err := r.planCell(pg, cfg, planParaCONV)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if rmaxMin < 0 || plan.RMax < rmaxMin {
 				rmaxMin = plan.RMax
@@ -84,21 +92,13 @@ func Sensitivity(pes int, noise float64, trials int) ([]SensitivityRow, error) {
 			}
 		}
 		row.RMaxSpread = rmaxMax - rmaxMin
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
-}
-
-func ratioOf(g *dag.Graph, cfg pim.Config) (float64, error) {
-	pc, err := sched.ParaCONV(g, cfg)
-	if err != nil {
-		return 0, err
-	}
-	sp, err := sched.SPARTA(g, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return float64(pc.TotalTime(Iterations)) / float64(sp.TotalTime(Iterations)), nil
 }
 
 // Perturb returns a copy of the graph with every execution time

@@ -16,6 +16,8 @@ package bench
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dag"
 	"repro/internal/synth"
@@ -64,18 +66,51 @@ func ByName(name string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q; valid names: %v", name, names)
 }
 
-// Graph regenerates the benchmark's task graph.
+// graphMemo holds one sync.Once-guarded generation per distinct
+// Benchmark value, so every experiment shares a single *dag.Graph per
+// benchmark (the generator is deterministic, so callers observed the
+// same content before; now they also share the pointer, which lets the
+// plan cache memoize fingerprints and the given-schedule planner keep
+// its pointer-identity check).  Graphs are immutable after generation;
+// perturbation studies Clone first.
+var graphMemo sync.Map // Benchmark -> *graphOnce
+
+type graphOnce struct {
+	once sync.Once
+	g    *dag.Graph
+	err  error
+}
+
+// graphGenerations counts actual generator invocations — a regression
+// guard that memoization is working (see GraphGenerations).
+var graphGenerations atomic.Int64
+
+// GraphGenerations returns how many times a benchmark graph has been
+// synthesized since process start.  With memoization this is bounded
+// by the number of distinct Benchmark values ever asked for, no matter
+// how many experiments run.
+func GraphGenerations() int64 { return graphGenerations.Load() }
+
+// Graph returns the benchmark's task graph, generating it on first
+// use and returning the same memoized *dag.Graph on every later call.
 func (b Benchmark) Graph() (*dag.Graph, error) {
-	g, err := synth.Generate(synth.Params{
-		Name:     b.Name,
-		Vertices: b.Vertices,
-		Edges:    b.Edges,
-		Seed:     b.Seed,
+	v, _ := graphMemo.LoadOrStore(b, &graphOnce{})
+	m := v.(*graphOnce)
+	m.once.Do(func() {
+		graphGenerations.Add(1)
+		g, err := synth.Generate(synth.Params{
+			Name:     b.Name,
+			Vertices: b.Vertices,
+			Edges:    b.Edges,
+			Seed:     b.Seed,
+		})
+		if err != nil {
+			m.err = fmt.Errorf("bench: regenerating %q: %w", b.Name, err)
+			return
+		}
+		m.g = g
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench: regenerating %q: %w", b.Name, err)
-	}
-	return g, nil
+	return m.g, m.err
 }
 
 // PECounts is the PE sweep of the paper's evaluation.

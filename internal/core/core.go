@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -101,6 +102,13 @@ type Allocation struct {
 // order (§3.3.3): they cannot shorten the prologue, but every one kept
 // on chip avoids an eDRAM round trip's latency and energy.
 func Optimize(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capacity int) (Allocation, error) {
+	return OptimizeCtx(context.Background(), g, classes, tm, capacity)
+}
+
+// OptimizeCtx is Optimize under a context: the dynamic program checks
+// ctx at every item-row boundary and returns the context's error if it
+// is cancelled mid-solve, leaving no partial state behind.
+func OptimizeCtx(ctx context.Context, g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capacity int) (Allocation, error) {
 	if capacity < 0 {
 		return Allocation{}, fmt.Errorf("core: cache capacity %d; want >= 0", capacity)
 	}
@@ -108,7 +116,10 @@ func Optimize(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capaci
 	if err != nil {
 		return Allocation{}, err
 	}
-	chosen, profit := Knapsack(items, capacity)
+	chosen, profit, err := KnapsackCtx(ctx, items, capacity)
+	if err != nil {
+		return Allocation{}, err
+	}
 	alloc := Allocation{
 		Assignment:  retime.AllEDRAM(g.NumEdges()),
 		Profit:      profit,
@@ -176,10 +187,19 @@ func trafficOf(e *dag.Edge) int64 {
 // profit is B[capacity, len(items)].  Runs in O(n·S) time and space
 // (the table is kept for backtracking, as §3.3.3 prescribes).
 func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
+	chosen, profit, _ = KnapsackCtx(context.Background(), items, capacity)
+	return chosen, profit
+}
+
+// KnapsackCtx is Knapsack under a context.  The O(n·S) table fill is
+// the longest uninterruptible stretch of the whole planning pipeline,
+// so the recurrence checks ctx once per item row (every S cells) and
+// abandons the solve with the context's error when cancelled.
+func KnapsackCtx(ctx context.Context, items []Item, capacity int) (chosen []bool, profit int, err error) {
 	n := len(items)
 	chosen = make([]bool, n)
 	if n == 0 || capacity <= 0 {
-		return chosen, 0
+		return chosen, 0, ctx.Err()
 	}
 	// B[m][s]: max profit using the first m items within capacity s.
 	b := make([][]int, n+1)
@@ -187,6 +207,9 @@ func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
 		b[m] = make([]int, capacity+1)
 	}
 	for m := 1; m <= n; m++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: knapsack cancelled at item %d/%d: %w", m, n, err)
+		}
 		it := &items[m-1]
 		for s := 0; s <= capacity; s++ {
 			best := b[m-1][s]
@@ -208,7 +231,7 @@ func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
 			s -= items[m-1].Size
 		}
 	}
-	return chosen, profit
+	return chosen, profit, nil
 }
 
 // BruteForce computes the optimal knapsack profit by exhaustive subset

@@ -1,0 +1,111 @@
+package run
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// DefaultCacheBound is the plan-cache capacity of a new Session, in
+// entries.  A full experiment suite — including the sensitivity
+// study's perturbed replans — solves ~500 distinct (graph, config,
+// variant) cells, so the default keeps all of them live for one
+// benchtab invocation (the closing comparison pass is then pure cache
+// hits) while still bounding memory for unbounded sweeps.
+const DefaultCacheBound = 1024
+
+// cacheKey identifies one planning problem: what graph, on what
+// architecture, under which planner variant (and, for the
+// given-schedule variant, which fixed schedule).
+type cacheKey struct {
+	graph   string
+	config  string
+	variant string
+	extra   string
+}
+
+// CacheStats is a snapshot of a Session's plan-cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Size is the current entry count; Bound is the capacity
+	// (0 means caching is disabled).
+	Size  int
+	Bound int
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	plan *sched.Plan
+}
+
+// planCache is a mutex-guarded LRU map from planning problems to
+// solved plans.  Cached *Plan values are shared between callers and
+// treated as immutable by every consumer in the module.
+type planCache struct {
+	mu        sync.Mutex
+	bound     int
+	ll        *list.List // front = most recently used
+	items     map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newPlanCache(bound int) *planCache {
+	if bound < 0 {
+		bound = 0
+	}
+	return &planCache{
+		bound: bound,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *planCache) get(key cacheKey) (*sched.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *planCache) put(key cacheKey, plan *sched.Plan) {
+	if c.bound == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent solver beat us to it; keep the first entry so
+		// every caller shares one plan pointer.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	for c.ll.Len() > c.bound {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Bound:     c.bound,
+	}
+}

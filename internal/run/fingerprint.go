@@ -1,0 +1,66 @@
+package run
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/sched"
+)
+
+// graphFPs memoizes graph fingerprints by pointer.  Graphs are treated
+// as immutable once built (every mutation path in the module — synth
+// generation, Clone, Perturb — produces a fresh *Graph), so a pointer
+// identifies its content for the life of the process.
+var graphFPs sync.Map // *dag.Graph -> string
+
+// GraphFingerprint returns a content hash of the graph: sha256 over
+// the dag text codec, which covers the name, every node (kind, exec)
+// and every edge (endpoints, size, transfer times) — exactly the
+// inputs the planners read.  The result is memoized per *Graph.
+func GraphFingerprint(g *dag.Graph) string {
+	if g == nil {
+		return "graph:nil"
+	}
+	if v, ok := graphFPs.Load(g); ok {
+		return v.(string)
+	}
+	h := sha256.New()
+	if err := dag.WriteText(h, g); err != nil {
+		// Writes into a hash cannot fail; keep a correct (if
+		// process-local) fallback rather than a panic.
+		return fmt.Sprintf("graph:ptr:%p", g)
+	}
+	fp := "graph:" + hex.EncodeToString(h.Sum(nil))
+	graphFPs.Store(g, fp)
+	return fp
+}
+
+// ConfigFingerprint returns a content key for a PIM configuration.
+// Config is a flat struct of scalars and a name, so the Go-syntax
+// representation is a complete, deterministic encoding.
+func ConfigFingerprint(cfg pim.Config) string {
+	return fmt.Sprintf("cfg:%#v", cfg)
+}
+
+// ScheduleFingerprint returns a content hash of a fixed iteration
+// schedule, for keying the given-schedule planner variant: the PE
+// count, period, every task placement and every IPR assignment, plus
+// the underlying graph's fingerprint.
+func ScheduleFingerprint(iter sched.IterationSchedule) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "pes %d period %d\n", iter.PEs, iter.Period)
+	for i := range iter.Tasks {
+		t := &iter.Tasks[i]
+		fmt.Fprintf(h, "t %d %d %d %d\n", t.Node, t.PE, t.Start, t.Finish)
+	}
+	for _, a := range iter.Assignment {
+		fmt.Fprintf(h, "a %d\n", a)
+	}
+	io.WriteString(h, GraphFingerprint(iter.Graph))
+	return "iter:" + hex.EncodeToString(h.Sum(nil))
+}

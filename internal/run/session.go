@@ -1,0 +1,160 @@
+// Package run is the module's execution layer: a Session scopes a
+// batch of planning and simulation work under one context.Context and
+// one memoized plan cache.  Every long computation reached through a
+// Session — the knapsack DP, the group-count search, list scheduling,
+// the simulators, architecture sweeps — checks the session's context
+// at iteration boundaries and returns a wrapped context error when
+// cancelled, so callers can bound wall-clock time with
+// context.WithTimeout or a signal-cancelled context.
+//
+// The plan cache is keyed by content (graph fingerprint, configuration
+// fingerprint, planner variant), so re-planning the same benchmark on
+// the same architecture — which the experiment suite does constantly
+// across tables and figures — is a map lookup instead of a DP solve.
+package run
+
+import (
+	"context"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Planner variants used in cache keys.
+const (
+	variantParaCONV = "para-conv"
+	variantSingle   = "para-conv-single"
+	variantGiven    = "para-conv-given"
+	variantSPARTA   = "sparta"
+	variantNaive    = "naive"
+)
+
+// Session scopes planning and simulation work: one context governing
+// cancellation, one bounded plan cache shared by every call.  A
+// Session is safe for concurrent use; the bench worker pool shares one
+// across all its workers.
+type Session struct {
+	// ctx scopes every solve and simulation the Session runs.  This
+	// is the module's one sanctioned context-in-struct (enforced by
+	// the ctxfield vet pass): a Session is itself a cancellation
+	// scope — it exists exactly as long as the run it governs — so
+	// the usual "pass ctx as a parameter" rule collapses into it.
+	ctx   context.Context
+	cache *planCache
+}
+
+// New returns a Session scoped to ctx with the default plan-cache
+// bound.  A nil ctx means context.Background().
+func New(ctx context.Context) *Session {
+	return NewWithCacheBound(ctx, DefaultCacheBound)
+}
+
+// NewWithCacheBound returns a Session whose plan cache holds at most
+// bound entries; bound <= 0 disables caching entirely (every lookup
+// misses, nothing is stored).
+func NewWithCacheBound(ctx context.Context, bound int) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if bound < 0 {
+		bound = 0
+	}
+	return &Session{ctx: ctx, cache: newPlanCache(bound)}
+}
+
+// Context returns the context scoping this session.
+func (s *Session) Context() context.Context {
+	return s.ctx
+}
+
+// CacheStats returns a snapshot of the plan cache's counters.
+func (s *Session) CacheStats() CacheStats {
+	return s.cache.stats()
+}
+
+// plan runs one planner variant through the cache: content-keyed
+// lookup, solve on miss, store on success.  Failed solves are not
+// cached (they are cheap — validation rejects before the DP runs — and
+// the error should be re-derived fresh for each caller).
+func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
+	solve func(context.Context) (*sched.Plan, error)) (*sched.Plan, error) {
+	if g == nil {
+		// Let the planner produce its own nil-graph error.
+		return solve(s.ctx)
+	}
+	key := cacheKey{
+		graph:   GraphFingerprint(g),
+		config:  ConfigFingerprint(cfg),
+		variant: variant,
+		extra:   extra,
+	}
+	if p, ok := s.cache.get(key); ok {
+		return p, nil
+	}
+	p, err := solve(s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, p)
+	return p, nil
+}
+
+// Plan runs the full Para-CONV flow (group-count search, retiming,
+// knapsack cache allocation, objective schedule) for g on cfg.
+func (s *Session) Plan(g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	return s.plan(variantParaCONV, "", g, cfg, func(ctx context.Context) (*sched.Plan, error) {
+		return sched.ParaCONVCtx(ctx, g, cfg)
+	})
+}
+
+// PlanSingle runs Para-CONV pinned to a single group (no parallel
+// group packing) — the paper's single-kernel configuration.
+func (s *Session) PlanSingle(g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	return s.plan(variantSingle, "", g, cfg, func(ctx context.Context) (*sched.Plan, error) {
+		return sched.ParaCONVSingleCtx(ctx, g, cfg)
+	})
+}
+
+// PlanWithSchedule runs the Para-CONV reallocation on a fixed
+// iteration schedule (retiming + cache allocation only).  The cache
+// key incorporates a fingerprint of the given schedule.
+func (s *Session) PlanWithSchedule(g *dag.Graph, iter sched.IterationSchedule, cfg pim.Config) (*sched.Plan, error) {
+	return s.plan(variantGiven, ScheduleFingerprint(iter), g, cfg, func(ctx context.Context) (*sched.Plan, error) {
+		return sched.ParaCONVGivenScheduleCtx(ctx, g, iter, cfg)
+	})
+}
+
+// Baseline runs the SPARTA baseline scheduler.
+func (s *Session) Baseline(g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	return s.plan(variantSPARTA, "", g, cfg, func(ctx context.Context) (*sched.Plan, error) {
+		return sched.SPARTACtx(ctx, g, cfg)
+	})
+}
+
+// BaselineNaive runs the round-robin, all-eDRAM floor scheduler.
+func (s *Session) BaselineNaive(g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	return s.plan(variantNaive, "", g, cfg, func(ctx context.Context) (*sched.Plan, error) {
+		return sched.NaiveCtx(ctx, g, cfg)
+	})
+}
+
+// Simulate runs the closed-form simulator on a plan under the
+// session's context.
+func (s *Session) Simulate(plan *sched.Plan, cfg pim.Config, iterations int) (sim.Stats, error) {
+	return sim.RunCtx(s.ctx, plan, cfg, iterations)
+}
+
+// SimulateTrace runs the event-level simulator on a plan under the
+// session's context.
+func (s *Session) SimulateTrace(plan *sched.Plan, cfg pim.Config, iterations int) (sim.Stats, *sim.Trace, error) {
+	return sim.TraceRunCtx(s.ctx, plan, cfg, iterations)
+}
+
+// SelectArch plans g on every candidate architecture and returns the
+// best by total time plus the full ranking, under the session's
+// context.
+func (s *Session) SelectArch(g *dag.Graph, candidates []pim.Config, iterations int) (sched.Candidate, []sched.Candidate, error) {
+	return sched.SelectConfigCtx(s.ctx, g, candidates, iterations)
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -17,6 +18,15 @@ import (
 // Para-CONV's improvement over SPARTA shows what joint reallocation
 // buys on top.
 func Naive(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	return NaiveCtx(context.Background(), g, cfg)
+}
+
+// NaiveCtx is Naive under a context, checked once up front (the
+// round-robin placement itself is linear and near-instant).
+func NaiveCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: naive: %w", err)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: naive: %w", err)
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -143,7 +144,7 @@ func packedMakespan(execs []int, numPEs int) int {
 // (fewer groups mean less filter-weight duplication and, for graphs
 // that already fill the array, U = 1: the paper's single-kernel
 // configuration).
-func chooseGroups(g *dag.Graph, numPEs int) int {
+func chooseGroups(ctx context.Context, g *dag.Graph, numPEs int) (int, error) {
 	execs := make([]int, g.NumNodes())
 	for i := range g.Nodes() {
 		execs[i] = g.Nodes()[i].Exec
@@ -158,6 +159,9 @@ func chooseGroups(g *dag.Graph, numPEs int) int {
 		if numPEs%u != 0 {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("sched: group search cancelled at %d/%d PEs per group: %w", numPEs/u, numPEs, err)
+		}
 		p := packedMakespan(execs, numPEs/u)
 		if p < floor {
 			p = floor
@@ -170,10 +174,10 @@ func chooseGroups(g *dag.Graph, numPEs int) int {
 	for _, c := range cands {
 		// c.p/c.u <= 1.02 * bestP/bestU, in integers.
 		if c.p*bestU*50 <= bestP*c.u*51 {
-			return c.u
+			return c.u, nil
 		}
 	}
-	return bestU
+	return bestU, nil
 }
 
 // ParaCONV runs the full Para-CONV pipeline on the graph for the given
@@ -183,6 +187,13 @@ func chooseGroups(g *dag.Graph, numPEs int) int {
 // The returned plan's ConcurrentIterations field holds the group count
 // (iterations completed per kernel period).
 func ParaCONV(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	return ParaCONVCtx(context.Background(), g, cfg)
+}
+
+// ParaCONVCtx is ParaCONV under a context: the group search, the DP
+// allocation and the retiming stages check ctx at iteration boundaries
+// and return its error cleanly when cancelled mid-solve.
+func ParaCONVCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: para-conv: %w", err)
 	}
@@ -192,7 +203,11 @@ func ParaCONV(g *dag.Graph, cfg pim.Config) (*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return paraCONVKernel(g, cfg, chooseGroups(g, cfg.NumPEs))
+	groups, err := chooseGroups(ctx, g, cfg.NumPEs)
+	if err != nil {
+		return nil, err
+	}
+	return paraCONVKernel(ctx, g, cfg, groups)
 }
 
 // ParaCONVSingle runs Para-CONV with a single group spanning the whole
@@ -200,6 +215,11 @@ func ParaCONV(g *dag.Graph, cfg pim.Config) (*Plan, error) {
 // paper's motivational example uses.  Ablation benches compare it
 // against the adaptive ParaCONV.
 func ParaCONVSingle(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	return ParaCONVSingleCtx(context.Background(), g, cfg)
+}
+
+// ParaCONVSingleCtx is ParaCONVSingle under a context.
+func ParaCONVSingleCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: para-conv: %w", err)
 	}
@@ -209,7 +229,7 @@ func ParaCONVSingle(g *dag.Graph, cfg pim.Config) (*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return paraCONVKernel(g, cfg, 1)
+	return paraCONVKernel(ctx, g, cfg, 1)
 }
 
 // ParaCONVGivenSchedule runs Para-CONV's allocation pipeline against
@@ -224,6 +244,11 @@ func ParaCONVSingle(g *dag.Graph, cfg pim.Config) (*Plan, error) {
 // effect: more PEs mean more aggregate cache, more IPRs promoted, and
 // a smaller maximum retiming value — the paper's Table 2 trend.
 func ParaCONVGivenSchedule(g *dag.Graph, iter IterationSchedule, cfg pim.Config) (*Plan, error) {
+	return ParaCONVGivenScheduleCtx(context.Background(), g, iter, cfg)
+}
+
+// ParaCONVGivenScheduleCtx is ParaCONVGivenSchedule under a context.
+func ParaCONVGivenScheduleCtx(ctx context.Context, g *dag.Graph, iter IterationSchedule, cfg pim.Config) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: para-conv: %w", err)
 	}
@@ -238,7 +263,7 @@ func ParaCONVGivenSchedule(g *dag.Graph, iter IterationSchedule, cfg pim.Config)
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv classify: %w", err)
 	}
-	alloc, err := core.Optimize(g, classes, tm, cfg.TotalCacheUnits())
+	alloc, err := core.OptimizeCtx(ctx, g, classes, tm, cfg.TotalCacheUnits())
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
 	}
@@ -275,7 +300,7 @@ func ParaCONVGivenSchedule(g *dag.Graph, iter IterationSchedule, cfg pim.Config)
 // so the classification, the DP allocation (against the group's own
 // cache capacity — each group holds its own IPR instances) and the
 // retiming are computed once on the original graph.
-func paraCONVKernel(g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
+func paraCONVKernel(ctx context.Context, g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
 	if groups < 1 || cfg.NumPEs%groups != 0 {
 		return nil, fmt.Errorf("sched: para-conv: %d groups does not divide %d PEs", groups, cfg.NumPEs)
 	}
@@ -290,7 +315,7 @@ func paraCONVKernel(g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
 		return nil, fmt.Errorf("sched: para-conv classify: %w", err)
 	}
 	capacity := groupPEs * cfg.CacheUnitsPerPE
-	alloc, err := core.Optimize(g, classes, tm, capacity)
+	alloc, err := core.OptimizeCtx(ctx, g, classes, tm, capacity)
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -268,7 +269,7 @@ func TestScheduleValidateCatchesBadWindows(t *testing.T) {
 
 func TestCheckDependenciesDetectsViolation(t *testing.T) {
 	g := fig2b()
-	iter, err := listSchedule(g, 2, retime.AllEDRAM(g.NumEdges()))
+	iter, err := listSchedule(context.Background(), g, 2, retime.AllEDRAM(g.NumEdges()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -24,6 +25,13 @@ type Candidate struct {
 // planner rejects (e.g. transfer times incompatible with the model)
 // are skipped; an error is returned only if none survive.
 func SelectConfig(g *dag.Graph, candidates []pim.Config, iterations int) (Candidate, []Candidate, error) {
+	return SelectConfigCtx(context.Background(), g, candidates, iterations)
+}
+
+// SelectConfigCtx is SelectConfig under a context: the sweep checks
+// ctx before each candidate and aborts with the context's error, so a
+// long architecture search cancels between (and inside) solves.
+func SelectConfigCtx(ctx context.Context, g *dag.Graph, candidates []pim.Config, iterations int) (Candidate, []Candidate, error) {
 	if len(candidates) == 0 {
 		return Candidate{}, nil, fmt.Errorf("sched: SelectConfig with no candidates")
 	}
@@ -33,8 +41,14 @@ func SelectConfig(g *dag.Graph, candidates []pim.Config, iterations int) (Candid
 	var ranked []Candidate
 	var firstErr error
 	for _, cfg := range candidates {
-		plan, err := ParaCONV(g, cfg)
+		if err := ctx.Err(); err != nil {
+			return Candidate{}, nil, fmt.Errorf("sched: SelectConfig cancelled: %w", err)
+		}
+		plan, err := ParaCONVCtx(ctx, g, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				return Candidate{}, nil, err
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("sched: candidate %s: %w", cfg.Name, err)
 			}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,12 @@ import (
 // whole makespan, including every data-movement stall — the cost
 // Para-CONV's joint optimization eliminates.
 func SPARTA(g *dag.Graph, cfg pim.Config) (*Plan, error) {
+	return SPARTACtx(context.Background(), g, cfg)
+}
+
+// SPARTACtx is SPARTA under a context: the list scheduler checks ctx
+// at task-placement boundaries and returns its error when cancelled.
+func SPARTACtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: sparta: %w", err)
 	}
@@ -33,7 +40,7 @@ func SPARTA(g *dag.Graph, cfg pim.Config) (*Plan, error) {
 		return nil, err
 	}
 	assignment := greedyCache(g, cfg.TotalCacheUnits())
-	iter, err := listSchedule(g, cfg.NumPEs, assignment)
+	iter, err := listSchedule(ctx, g, cfg.NumPEs, assignment)
 	if err != nil {
 		return nil, fmt.Errorf("sched: sparta: %w", err)
 	}
@@ -97,7 +104,7 @@ func trafficOf(e *dag.Edge) int64 {
 // listSchedule performs priority list scheduling of one iteration on
 // `pes` processing engines, honouring every dependency with the
 // transfer time implied by the IPR placement.
-func listSchedule(g *dag.Graph, pes int, assignment retime.Assignment) (IterationSchedule, error) {
+func listSchedule(ctx context.Context, g *dag.Graph, pes int, assignment retime.Assignment) (IterationSchedule, error) {
 	if pes < 1 {
 		return IterationSchedule{}, fmt.Errorf("sched: %d PEs; want >= 1", pes)
 	}
@@ -145,6 +152,9 @@ func listSchedule(g *dag.Graph, pes int, assignment retime.Assignment) (Iteratio
 	tasks := make([]Task, n)
 	scheduled := 0
 	for scheduled < n {
+		if err := ctx.Err(); err != nil {
+			return IterationSchedule{}, fmt.Errorf("sched: list scheduling cancelled with %d/%d tasks placed: %w", scheduled, n, err)
+		}
 		if len(frontier) == 0 {
 			return IterationSchedule{}, fmt.Errorf("sched: list scheduling stalled with %d/%d tasks placed", scheduled, n)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,6 +109,17 @@ func (tr *Trace) BusySpread() int {
 // The event volume is proportional to iterations x (|V|+|E|), so use
 // modest iteration counts (the steady state repeats exactly).
 func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	return TraceRunCtx(context.Background(), plan, cfg, iterations)
+}
+
+// TraceRunCtx is TraceRun under a context.  The event generators check
+// ctx at round (pipelined) and iteration (sequential) boundaries and
+// return the context's error when cancelled, discarding the partial
+// trace.
+func TraceRunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, nil, fmt.Errorf("sim: %w", err)
+	}
 	if plan == nil {
 		return Stats{}, nil, fmt.Errorf("sim: nil plan")
 	}
@@ -125,9 +137,9 @@ func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, 
 	}
 	switch plan.Scheme {
 	case "para-conv":
-		return tracePipelined(plan, cfg, iterations)
+		return tracePipelined(ctx, plan, cfg, iterations)
 	case "sparta", "naive":
-		return traceSequential(plan, cfg, iterations)
+		return traceSequential(ctx, plan, cfg, iterations)
 	default:
 		return Stats{}, nil, fmt.Errorf("sim: unknown scheme %q", plan.Scheme)
 	}
@@ -135,7 +147,7 @@ func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, 
 
 // traceSequential replays back-to-back iterations of a dependency-
 // complete schedule.
-func traceSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+func traceSequential(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	g := plan.Iter.Graph
 	if err := plan.Iter.CheckDependencies(); err != nil {
 		return Stats{}, nil, fmt.Errorf("sim: sequential plan violates dependencies: %w", err)
@@ -143,6 +155,9 @@ func traceSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *
 	p := plan.Iter.Period
 	tr := &Trace{}
 	for it := 0; it < iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, nil, fmt.Errorf("sim: trace cancelled at iteration %d/%d: %w", it, iterations, err)
+		}
 		base := it * p
 		for i := range plan.Iter.Tasks {
 			t := plan.Iter.Tasks[i]
@@ -177,7 +192,7 @@ func traceSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *
 // iterations.  The instance of vertex v serving logical iteration ℓ
 // runs in round ℓ + RMax - R(v); transfers are placed inside the
 // windows the Theorem 3.1 discipline guarantees.
-func tracePipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+func tracePipelined(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	g := plan.Iter.Graph
 	r := plan.Retiming
 	if len(r.R) != g.NumNodes() || len(r.REdge) != g.NumEdges() {
@@ -199,6 +214,9 @@ func tracePipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *T
 	// iteration stream when the kernel packs several groups/unroll
 	// copies; we report the stream-local iteration index).
 	for k := 0; k < totalRounds; k++ {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, nil, fmt.Errorf("sim: trace cancelled at round %d/%d: %w", k, totalRounds, err)
+		}
 		base := k * p
 		for i := range plan.Iter.Tasks {
 			t := plan.Iter.Tasks[i]
@@ -217,6 +235,9 @@ func tracePipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *T
 	// (round ℓ+RMax-R(j)).  Placement within the gap follows the
 	// non-straddling window discipline; any misfit is a hard error.
 	for i := range g.Edges() {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, nil, fmt.Errorf("sim: trace cancelled at edge %d/%d: %w", i, g.NumEdges(), err)
+		}
 		e := g.Edge(dag.EdgeID(i))
 		place := plan.Iter.Assignment[i]
 		dur := e.CacheTime
@@ -248,7 +269,7 @@ func tracePipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *T
 	}
 	finalize(tr)
 
-	stats, err := runPipelined(plan, cfg, iterations)
+	stats, err := runPipelined(ctx, plan, cfg, iterations)
 	if err != nil {
 		return Stats{}, nil, err
 	}

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -76,6 +77,16 @@ func (s Stats) OffChipFetchRatio() float64 {
 // It returns an error if the plan is structurally invalid, violates
 // a dependency at run time, or oversubscribes the cache.
 func Run(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
+	return RunCtx(context.Background(), plan, cfg, iterations)
+}
+
+// RunCtx is Run under a context.  The closed-form simulator's only
+// long stretch is the per-edge legality sweep, which checks ctx at
+// edge boundaries and returns its error when cancelled.
+func RunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, fmt.Errorf("sim: %w", err)
+	}
 	if plan == nil {
 		return Stats{}, errors.New("sim: nil plan")
 	}
@@ -95,7 +106,7 @@ func Run(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
 				return Stats{}, fmt.Errorf("sim: %w", err)
 			}
 		}
-		return runPipelined(plan, cfg, iterations)
+		return runPipelined(ctx, plan, cfg, iterations)
 	case "sparta", "naive":
 		return runSequential(plan, cfg, iterations)
 	default:
@@ -131,7 +142,7 @@ func runSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, err
 // (and its transfer completed) before the consuming instance starts,
 // using the retiming offsets — the run-time restatement of
 // retime.CheckLegal against absolute time.
-func runPipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
+func runPipelined(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
 	g := plan.Iter.Graph
 	if err := checkCacheCapacity(plan, cfg); err != nil {
 		return Stats{}, err
@@ -153,6 +164,9 @@ func runPipelined(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, erro
 	// re-derive the requirement and fail loudly on any violation.
 	tm := plan.Iter.Timing()
 	for i := range g.Edges() {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, fmt.Errorf("sim: cancelled verifying edge %d/%d: %w", i, g.NumEdges(), err)
+		}
 		e := g.Edge(dag.EdgeID(i))
 		transfer := e.CacheTime
 		if plan.Iter.Assignment[i] == pim.InEDRAM {

@@ -21,6 +21,7 @@
 package paraconv
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bench"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/opt"
 	"repro/internal/pim"
+	"repro/internal/run"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -86,6 +88,28 @@ const (
 	InCache = pim.InCache
 	InEDRAM = pim.InEDRAM
 )
+
+// Session scopes a batch of planning and simulation work under one
+// context.Context and one content-keyed plan cache.  Prefer a Session
+// over the package-level Plan/Baseline/Simulate helpers when you need
+// cancellation (Ctrl-C, deadlines) or are re-planning the same graphs
+// repeatedly: cache hits return the already-solved *ExecutionPlan.
+// A Session is safe for concurrent use.
+type Session = run.Session
+
+// PlanCacheStats is a snapshot of a Session's plan-cache counters
+// (hits, misses, evictions, current size and bound).
+type PlanCacheStats = run.CacheStats
+
+// NewSession returns a Session scoped to ctx with the default
+// plan-cache bound.  A nil ctx means context.Background().
+func NewSession(ctx context.Context) *Session { return run.New(ctx) }
+
+// NewSessionWithCacheBound is NewSession with an explicit plan-cache
+// capacity; bound <= 0 disables caching.
+func NewSessionWithCacheBound(ctx context.Context, bound int) *Session {
+	return run.NewWithCacheBound(ctx, bound)
+}
 
 // NewGraph returns an empty task graph with the given name.
 func NewGraph(name string) *Graph { return dag.New(name) }

@@ -33,4 +33,17 @@ echo "== fuzz smoke"
 go test -run='^$' -fuzz='^FuzzDAGCodecRoundTrip$' -fuzztime=10s ./internal/dag/
 go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
 
+echo "== benchtab parallel determinism smoke"
+# A parallel benchtab run must be byte-identical to a serial one.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/benchtab" ./cmd/benchtab
+"$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
+"$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
+if ! cmp -s "$tmpdir/serial.out" "$tmpdir/par4.out"; then
+    echo "benchtab -parallel 4 output differs from serial:" >&2
+    diff "$tmpdir/serial.out" "$tmpdir/par4.out" >&2 || true
+    exit 1
+fi
+
 echo "CI gate passed."
