@@ -5,6 +5,8 @@
 //
 //	benchtab [-exp all|table1|table2|fig5|fig6|movement|...] [-csv]
 //	         [-pes N] [-parallel N] [-timeout D] [-cachestats]
+//	         [-http ADDR] [-http-hold D] [-metrics-out FILE]
+//	         [-loglevel debug|info|warn|error] [-metrics=false]
 //
 // With -csv the selected experiment is written as CSV to stdout
 // (one experiment at a time); otherwise human-readable tables print.
@@ -14,6 +16,14 @@
 // invocation (the solvers and simulators are cancellable mid-loop).
 // -cachestats reports the plan cache's hit/miss/eviction counters on
 // stderr when the run completes.
+//
+// -http serves the live debug endpoint (Prometheus text at /metrics,
+// JSON at /metrics.json, pprof under /debug/pprof/) while the
+// experiments run; an address without a host binds loopback only, and
+// -http-hold keeps the server up after the experiments finish.
+// -metrics-out writes a JSON metrics snapshot at exit, -loglevel
+// raises structured-log verbosity, and -metrics=false disables
+// instrument writes entirely.
 package main
 
 import (
@@ -47,6 +57,7 @@ func realMain() int {
 	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells (output is identical to -parallel 1)")
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	cacheStats := flag.Bool("cachestats", false, "print plan-cache hit/miss/eviction counters to stderr at exit")
+	obsFlags := registerObsFlags()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -56,6 +67,12 @@ func realMain() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	obsCleanup, err := obsFlags.setup(ctx)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	defer obsCleanup()
 	session := run.New(ctx)
 	runner := bench.NewRunner(session, *parallel)
 	defer func() {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsOptions carries the observability flag values shared by the
+// module's commands.
+type obsOptions struct {
+	httpAddr   string
+	httpHold   time.Duration
+	metricsOut string
+	logLevel   string
+	metrics    bool
+}
+
+// registerObsFlags declares the observability flags on the default
+// flag set and returns the struct their values land in.
+func registerObsFlags() *obsOptions {
+	o := &obsOptions{}
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty host binds loopback; port 0 picks a free port)")
+	flag.DurationVar(&o.httpHold, "http-hold", 0, "keep the -http debug server up this long after the run finishes")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+	flag.StringVar(&o.logLevel, "loglevel", "warn", "structured-log level: debug, info, warn, error")
+	flag.BoolVar(&o.metrics, "metrics", true, "record runtime metrics (disable to measure the uninstrumented path)")
+	return o
+}
+
+// setup applies the parsed flag values: log level, the metrics enable
+// gate, and the debug server.  The returned cleanup writes the
+// -metrics-out snapshot, holds the server for -http-hold
+// (interruptible through ctx), then shuts it down.
+func (o *obsOptions) setup(ctx context.Context) (func(), error) {
+	lvl, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	obs.SetLogger(obs.SetupLogging(os.Stderr, lvl, false))
+	obs.SetEnabled(o.metrics)
+	var srv *obs.DebugServer
+	if o.httpAddr != "" {
+		srv, err = obs.StartDebugServer(o.httpAddr, obs.Default())
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("debug server listening on %s", srv.Addr())
+	}
+	return func() {
+		if o.metricsOut != "" {
+			if err := writeMetricsSnapshot(o.metricsOut); err != nil {
+				log.Printf("writing metrics snapshot: %v", err)
+			}
+		}
+		if srv != nil {
+			if o.httpHold > 0 {
+				log.Printf("holding debug server on %s for %s", srv.Addr(), o.httpHold)
+				select {
+				case <-time.After(o.httpHold):
+				case <-ctx.Done():
+				}
+			}
+			srv.Close()
+		}
+	}, nil
+}
+
+// writeMetricsSnapshot writes the default registry's JSON snapshot.
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	paraconv [-pes N] [-iters N] [-gantt] [-timeout D]
+//	paraconv [-pes N] [-iters N] [-gantt] [-analyze] [-timeout D]
 //	         [-bench name | -graph file.tg]
+//	         [-http ADDR] [-http-hold D] [-metrics-out FILE]
 //
 // The graph comes from a named paper benchmark (-bench protein) or a
 // file in the text graph format (-graph), which "-" reads from stdin.
 // Ctrl-C or -timeout cancels the solvers and simulators mid-loop.
+// -analyze prints the trace-derived per-PE utilization timeline with
+// idle time broken down into prologue, waiting-on-transfer and
+// no-ready-task.  -http serves /metrics, /metrics.json and
+// /debug/pprof while the run executes (loopback by default);
+// -metrics-out writes a JSON metrics snapshot at exit.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dag"
+	"repro/internal/obs/tracestat"
 	"repro/internal/opt"
 	"repro/internal/pim"
 	"repro/internal/run"
@@ -45,6 +52,8 @@ func main() {
 	planOut := flag.String("plan", "", "write the Para-CONV plan summary (JSON) to this file")
 	schedOut := flag.String("schedule", "", "write the Para-CONV kernel schedule (CSV) to this file")
 	timeout := flag.Duration("timeout", 0, "abort planning and simulation after this duration (0 = no limit)")
+	analyze := flag.Bool("analyze", false, "print the per-PE utilization timeline and idle-time breakdown from an event-level run")
+	obsFlags := registerObsFlags()
 	flag.Parse()
 
 	// One session scopes the whole invocation: Ctrl-C (or -timeout)
@@ -57,6 +66,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	obsCleanup, err := obsFlags.setup(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 	session := run.New(ctx)
 
 	g, err := loadGraph(*benchName, *graphFile)
@@ -104,6 +118,24 @@ func main() {
 		}
 		fmt.Printf("\n%s simulation: %d cycles, utilization %.1f%%, off-chip fetch ratio %.2f, %.1f nJ moved\n",
 			p.Scheme, stats.Cycles, 100*stats.Utilization(), stats.OffChipFetchRatio(), stats.EnergyPJ/1000)
+	}
+
+	if *analyze {
+		// Same capped horizon as -trace: the steady state repeats, so
+		// a short event-level run is representative.
+		horizon := min(*iters, 20)
+		stats, tr, err := session.SimulateTrace(plan, cfg, horizon)
+		if err != nil {
+			log.Fatalf("tracing for -analyze: %v", err)
+		}
+		rep, err := tracestat.Analyze(tr, plan, stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npara-conv trace analysis (%d iterations, prologue ends at t=%d):\n", horizon, rep.PrologueEnd)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *gantt {

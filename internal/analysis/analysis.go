@@ -79,6 +79,11 @@ func AllPasses() []Pass {
 			Doc:  "context.Context stored in a struct field outside the sanctioned Session type; pass ctx as a parameter",
 			Run:  runCtxField,
 		},
+		{
+			Name: "obsreg",
+			Doc:  "expvar use or obs.NewRegistry call outside internal/obs; metrics must go through the shared registry's instruments",
+			Run:  runObsReg,
+		},
 	}
 }
 

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// obsPackageSuffix is the one package tree allowed to create metric
+// instruments and registries.  Everything else must record through the
+// exported instruments internal/obs declares, so that the metric
+// namespace stays centralized, the Prometheus families are stable, and
+// the enable gate governs every write.
+const obsPackageSuffix = "/internal/obs"
+
+// runObsReg flags global-metric creation outside the sanctioned
+// internal/obs tree:
+//
+//   - importing expvar (the stdlib's ungated global metric registry,
+//     which would publish series the obs exporters never see), and
+//   - calling the obs package's NewRegistry, which mints a registry
+//     detached from the exporters and the debug endpoint.
+func runObsReg(m *Module, p *Package) []Diagnostic {
+	if pathSuffixMatch(m, p, []string{obsPackageSuffix}) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		// expvar import: any use of the package is a side registry.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "expvar" {
+				continue
+			}
+			diags = append(diags, diag(m, "obsreg", imp.Pos(),
+				"import of expvar outside internal/obs creates an ungated global metric registry; record through internal/obs instruments"))
+		}
+		// obs.NewRegistry call: a private registry invisible to the
+		// exporters and the debug endpoint.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewRegistry" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !importedObsPackage(p, id) {
+				return true
+			}
+			diags = append(diags, diag(m, "obsreg", call.Pos(),
+				"obs.NewRegistry outside internal/obs mints a registry the exporters never serve; use obs.Default's instruments"))
+			return true
+		})
+	}
+	return diags
+}
+
+// importedObsPackage reports whether id resolves to an imported
+// package whose import path ends in the sanctioned obs suffix.
+func importedObsPackage(p *Package, id *ast.Ident) bool {
+	if p.Info == nil {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == strings.TrimPrefix(obsPackageSuffix, "/") || strings.HasSuffix(path, obsPackageSuffix)
+}

@@ -1,0 +1,26 @@
+// Package telemetry violates the obsreg rule both ways: it publishes
+// through expvar's ungated global registry and mints a private obs
+// registry the exporters never serve.
+package telemetry
+
+import (
+	"expvar" // want obsreg
+
+	"vettest/internal/obs"
+)
+
+// jobs lives in expvar's own namespace, invisible to the obs exporters.
+var jobs = expvar.NewInt("jobs")
+
+// Count bumps the side-channel counter.
+func Count() { jobs.Add(1) }
+
+// Private builds a registry detached from the debug endpoint.
+func Private() *obs.Registry {
+	return obs.NewRegistry() // want obsreg
+}
+
+// Shared records through the sanctioned default registry; not flagged.
+func Shared() string {
+	return obs.Default().Counter("telemetry_jobs_total")
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pim"
+	"repro/internal/run"
+	"repro/internal/synth"
+)
+
+// benchmarkPlanAndSim exercises the full instrumented path — cache
+// lookup, DP solve, retiming, makespan recording, simulation — with a
+// zero-bound session so every iteration re-solves instead of hitting
+// the cache.
+func benchmarkPlanAndSim(b *testing.B) {
+	b.Helper()
+	g, err := synth.Generate(synth.Params{Vertices: 40, Edges: 90, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pim.Neurocube(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(run.NewWithCacheBound(context.Background(), 0), 1)
+		if _, _, err := r.simCell(g, cfg, planParaCONV, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineObsOn / BenchmarkPipelineObsOff bound the cost of
+// the observability layer on the end-to-end plan+simulate path; the
+// acceptance bar is On within 5% of Off.
+func BenchmarkPipelineObsOn(b *testing.B) { benchmarkPlanAndSim(b) }
+
+func BenchmarkPipelineObsOff(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchmarkPlanAndSim(b)
+}

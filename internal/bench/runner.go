@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/run"
 	"repro/internal/sched"
@@ -68,9 +70,13 @@ func (r *Runner) runJobs(n int, job func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			obs.RunnerJobsStarted.Inc()
 			if err := job(i); err != nil {
+				obs.RunnerJobsFailed.Inc()
+				obs.Log().Warn("benchmark job failed", "job", i, "err", err)
 				return err
 			}
+			obs.RunnerJobsFinished.Inc()
 		}
 		return nil
 	}
@@ -80,7 +86,11 @@ func (r *Runner) runJobs(n int, job func(i int) error) error {
 		failed bool
 	)
 	errs := make([]error, n)
-	idx := make(chan int)
+	type dispatch struct {
+		i  int
+		at time.Time
+	}
+	idx := make(chan dispatch)
 	go func() {
 		defer close(idx)
 		for i := 0; i < n; i++ {
@@ -90,19 +100,27 @@ func (r *Runner) runJobs(n int, job func(i int) error) error {
 			if stop {
 				return
 			}
-			idx <- i
+			idx <- dispatch{i: i, at: time.Now()}
 		}
 	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if err := job(i); err != nil {
+			for d := range idx {
+				// Queue wait: how long the dispatch sat in the
+				// unbuffered channel before a worker freed up.
+				obs.RunnerQueueWait.Observe(time.Since(d.at))
+				obs.RunnerJobsStarted.Inc()
+				if err := job(d.i); err != nil {
+					obs.RunnerJobsFailed.Inc()
+					obs.Log().Warn("benchmark job failed", "job", d.i, "err", err)
 					mu.Lock()
-					errs[i] = err
+					errs[d.i] = err
 					failed = true
 					mu.Unlock()
+				} else {
+					obs.RunnerJobsFinished.Inc()
 				}
 			}
 		}()

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
@@ -206,6 +207,7 @@ func KnapsackCtx(ctx context.Context, items []Item, capacity int) (chosen []bool
 	for m := range b {
 		b[m] = make([]int, capacity+1)
 	}
+	obs.SchedDPRows.Add(int64(n))
 	for m := 1; m <= n; m++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, fmt.Errorf("core: knapsack cancelled at item %d/%d: %w", m, n, err)

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug mux over a registry:
+//
+//	/             tiny index page linking the endpoints
+//	/metrics      Prometheus text exposition format
+//	/metrics.json JSON snapshot of every instrument
+//	/debug/pprof/ the standard net/http/pprof profiles
+//
+// The handler is read-only and unauthenticated — serve it on loopback
+// (StartDebugServer defaults to that) unless the deployment fronts it
+// with its own access control.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>paraconv debug</h1><ul>`+
+			`<li><a href="/metrics">/metrics</a> (Prometheus text)</li>`+
+			`<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>`+
+			`<li><a href="/debug/pprof/">/debug/pprof/</a></li>`+
+			`</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			Log().Warn("metrics export failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			Log().Warn("metrics JSON export failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr and serves Handler(r) until Close.
+// An addr without a host (":9090") binds loopback, not the wildcard
+// interface — the endpoints are unauthenticated, so exposing them
+// beyond the machine must be an explicit choice (e.g. "0.0.0.0:9090").
+// Port 0 picks a free port; Addr reports the bound address.
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	if addr == "" {
+		return nil, errors.New("obs: empty debug server address")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server address %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Log().Warn("debug server stopped", "err", err)
+		}
+	}()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (host:port, with the real
+// port when the request asked for :0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// The module's structured logger.  Default: human-readable text on
+// stderr at Warn, so instrumented library paths stay silent unless a
+// CLI raises the level (-loglevel debug) or something goes wrong.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: slog.LevelWarn,
+	})))
+}
+
+// Log returns the module's shared structured logger.  Instrumented
+// packages log through it (cache activity and plan latencies at Debug,
+// job failures at Warn) instead of owning package-level loggers.
+func Log() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger replaces the shared logger; nil is ignored.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// SetupLogging builds a logger writing to w at the given level — text
+// by default, JSON when jsonFormat is set — installs it as the shared
+// logger and returns it.  CLIs call this from their -loglevel flag.
+func SetupLogging(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	SetLogger(l)
+	return l
+}
+
+// ParseLevel maps a -loglevel flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+// This file declares every standard instrument of the module, all on
+// the shared Default registry.  Centralizing creation here (instead of
+// scattering registrations through the instrumented packages) keeps
+// the metric namespace reviewable in one screen and lets the obsreg
+// vet pass ban ad-hoc metric creation everywhere else.  Because the
+// instruments exist from package init, both exporters always emit the
+// full family set — a scrape taken before any work ran shows the
+// names at zero rather than omitting them.
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the module-wide shared registry.
+func Default() *Registry { return defaultRegistry }
+
+// Plan cache (internal/run): the content-keyed LRU behind Session.
+var (
+	PlanCacheHits      = Default().Counter("paraconv_plancache_hits_total", "plan-cache lookups served from the cache")
+	PlanCacheMisses    = Default().Counter("paraconv_plancache_misses_total", "plan-cache lookups that required a fresh solve")
+	PlanCacheEvictions = Default().Counter("paraconv_plancache_evictions_total", "plan-cache entries evicted by the LRU bound")
+	PlanCacheEntries   = Default().Gauge("paraconv_plancache_entries", "current plan-cache entry count (most recently updated session)")
+	PlanCacheCapacity  = Default().Gauge("paraconv_plancache_capacity", "plan-cache entry bound (most recently updated session; 0 = caching disabled)")
+)
+
+// Scheduler (internal/sched, internal/core).
+var (
+	SchedDPRows          = Default().Counter("paraconv_sched_dp_rows_total", "knapsack dynamic-program item rows evaluated")
+	SchedRetimedVertices = Default().Counter("paraconv_sched_retimed_vertices_total", "vertices moved to an earlier kernel round by retiming (R(v) > 0)")
+)
+
+// Simulator (internal/sim).
+var (
+	SimRuns            = Default().Counter("paraconv_sim_runs_total", "simulation runs completed (closed-form and event-level share these counters)")
+	SimPEBusyTime      = Default().Counter("paraconv_sim_pe_busy_time_units_total", "PE-time units spent executing tasks, summed over runs")
+	SimPEIdleTime      = Default().Counter("paraconv_sim_pe_idle_time_units_total", "PE-time units spent idle (fill, drain, no ready task), summed over runs")
+	SimProloguePeriods = Default().Counter("paraconv_sim_prologue_periods_total", "prologue (pipeline-fill) kernel periods executed, summed over runs")
+)
+
+// Experiment runner (internal/bench).
+var (
+	RunnerJobsStarted  = Default().Counter("paraconv_runner_jobs_started_total", "experiment-cell jobs dispatched to the worker pool")
+	RunnerJobsFinished = Default().Counter("paraconv_runner_jobs_finished_total", "experiment-cell jobs completed without error")
+	RunnerJobsFailed   = Default().Counter("paraconv_runner_jobs_failed_total", "experiment-cell jobs that returned an error")
+	RunnerQueueWait    = Default().Timer("paraconv_runner_queue_wait_seconds", "time a parallel job waited for a free worker")
+)
+
+// PlanSolveTimer returns the plan-latency phase timer for one planner
+// variant ("para-conv", "sparta", ...).  The histogram's count doubles
+// as a per-variant plans-solved counter.
+func PlanSolveTimer(variant string) *Timer {
+	return Default().Timer("paraconv_plan_solve_seconds",
+		"wall-clock latency of one uncached plan solve", Label{Key: "variant", Value: variant})
+}
+
+// MakespanHistogram returns the schedule-makespan distribution for one
+// scheme ("para-conv", "sparta", "naive"), in schedule time units.
+func MakespanHistogram(scheme string) *Histogram {
+	return Default().Histogram("paraconv_sched_makespan_time_units",
+		"kernel-iteration makespan (schedule period) in time units", TimeUnitBuckets,
+		Label{Key: "scheme", Value: scheme})
+}
+
+// TransferReads returns the IPR-fetch counter for one placement
+// ("cache" or "edram").
+func TransferReads(place string) *Counter {
+	return Default().Counter("paraconv_sim_transfers_total",
+		"IPR fetches by serving placement", Label{Key: "place", Value: place})
+}
+
+// TransferBytes returns the IPR-traffic byte counter for one placement
+// ("cache" or "edram").
+func TransferBytes(place string) *Counter {
+	return Default().Counter("paraconv_sim_transfer_bytes_total",
+		"IPR traffic volume by serving placement", Label{Key: "place", Value: place})
+}

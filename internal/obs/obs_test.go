@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", Label{Key: "k", Value: "v"})
+	b := r.Counter("dup_total", "h", Label{Key: "k", Value: "v"})
+	if a != b {
+		t.Error("same (name, labels, kind) returned distinct counters")
+	}
+	other := r.Counter("dup_total", "h", Label{Key: "k", Value: "w"})
+	if a == other {
+		t.Error("distinct label values returned the same counter")
+	}
+}
+
+func TestRegistryKindConflictDetaches(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("clash", "as counter")
+	g := r.Gauge("clash", "as gauge") // conflicting kind: detached
+	c.Inc()
+	g.Set(99)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "clash 1") {
+		t.Errorf("registered counter missing from export:\n%s", out)
+	}
+	if strings.Contains(out, "99") {
+		t.Errorf("detached conflicting gauge leaked into export:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	st := h.State()
+	// <=1: 0.5 and 1; (1,5]: 3; (5,10]: 7; >10: 100.
+	want := []uint64{2, 1, 1, 1}
+	if !reflect.DeepEqual(st.BucketCounts, want) {
+		t.Errorf("bucket counts = %v, want %v", st.BucketCounts, want)
+	}
+	if st.Count != 5 || st.Sum != 111.5 {
+		t.Errorf("count/sum = %d/%v, want 5/111.5", st.Count, st.Sum)
+	}
+}
+
+func TestTimerObserves(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("phase_seconds", "h")
+	tm.Observe(3 * time.Millisecond)
+	stop := tm.Start()
+	stop()
+	if got := tm.Histogram().State().Count; got != 2 {
+		t.Errorf("timer count = %d, want 2", got)
+	}
+}
+
+func TestSetEnabledGatesWrites(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("gated_total", "h")
+	h := r.Histogram("gated", "h", TimeUnitBuckets)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	SetEnabled(true)
+	if c.Value() != 0 || h.State().Count != 0 {
+		t.Error("writes recorded while instrumentation disabled")
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("write not recorded after re-enabling")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs", Label{Key: "state", Value: "ok"}).Add(3)
+	r.Gauge("depth", "queue depth").Set(2)
+	h := r.Histogram("wait_units", "wait", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="ok"} 3`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE wait_units histogram",
+		`wait_units_bucket{le="1"} 1`,
+		`wait_units_bucket{le="10"} 1`,
+		`wait_units_bucket{le="+Inf"} 2`,
+		"wait_units_sum 20.5",
+		"wait_units_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", Label{Key: "path", Value: "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{path="a\"b\\c\nd"} 1`; !strings.Contains(buf.String(), want) {
+		t.Errorf("export missing escaped series %q:\n%s", want, buf.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "counter help", Label{Key: "k", Value: "v"}).Add(9)
+	r.Gauge("g", "gauge help").Set(-4)
+	h := r.Histogram("h_units", "hist help", []float64{1, 2})
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot did not round-trip:\n got %+v\nwant %+v", back, snap)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 9 || back.Counters[0].Labels["k"] != "v" {
+		t.Errorf("counter snapshot wrong: %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Errorf("histogram snapshot wrong: %+v", back.Histograms)
+	}
+}
+
+func TestDefaultRegistryFamiliesPresent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, family := range []string{
+		"paraconv_plancache_hits_total",
+		"paraconv_plancache_misses_total",
+		"paraconv_plancache_evictions_total",
+		"paraconv_plancache_entries",
+		"paraconv_plancache_capacity",
+		"paraconv_sched_dp_rows_total",
+		"paraconv_sched_retimed_vertices_total",
+		"paraconv_sim_runs_total",
+		"paraconv_sim_pe_busy_time_units_total",
+		"paraconv_sim_pe_idle_time_units_total",
+		"paraconv_sim_prologue_periods_total",
+		"paraconv_runner_jobs_started_total",
+		"paraconv_runner_jobs_finished_total",
+		"paraconv_runner_jobs_failed_total",
+		"paraconv_runner_queue_wait_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("default registry missing family %s", family)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers instruments and both exporters from
+// many goroutines; run under -race this is the registry's thread-safety
+// certificate.
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("conc_total", "h", Label{Key: "w", Value: fmt.Sprint(w % 2)}).Inc()
+				r.Gauge("conc_gauge", "h").Set(int64(i))
+				r.Histogram("conc_units", "h", TimeUnitBuckets).Observe(float64(i))
+				if i%100 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := r.WriteJSON(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := r.Counter("conc_total", "h", Label{Key: "w", Value: "0"}).Value() +
+		r.Counter("conc_total", "h", Label{Key: "w", Value: "1"}).Value()
+	if total != 8*500 {
+		t.Errorf("concurrent increments lost: %d, want %d", total, 8*500)
+	}
+	if got := r.Histogram("conc_units", "h", TimeUnitBuckets).State().Count; got != 8*500 {
+		t.Errorf("concurrent observations lost: %d, want %d", got, 8*500)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "Warn": "WARN", "ERROR": "ERROR",
+	} {
+		lvl, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lvl.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, lvl, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "h").Add(11)
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "served_total 11") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Errorf("/metrics.json is not a Snapshot: %v", err)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+	if out := get("/"); !strings.Contains(out, "/metrics") {
+		t.Error("index page does not link /metrics")
+	}
+}
+
+func TestDebugServerLoopbackDefault(t *testing.T) {
+	srv, err := StartDebugServer(":0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Errorf("hostless addr bound %s, want loopback", srv.Addr())
+	}
+}
+
+// BenchmarkCounterEnabled / Disabled bound the per-write cost of the
+// enable gate — the difference is what instrumented-off saves.
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	c := NewRegistry().Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -71,9 +72,11 @@ func (c *planCache) get(key cacheKey) (*sched.Plan, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		obs.PlanCacheHits.Inc()
 		return el.Value.(*cacheEntry).plan, true
 	}
 	c.misses++
+	obs.PlanCacheMisses.Inc()
 	return nil, false
 }
 
@@ -95,7 +98,12 @@ func (c *planCache) put(key cacheKey, plan *sched.Plan) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+		obs.PlanCacheEvictions.Inc()
 	}
+	// The gauges track the most recently updated session's cache —
+	// benchtab and paraconv run exactly one, so this is exact there.
+	obs.PlanCacheEntries.Set(int64(c.ll.Len()))
+	obs.PlanCacheCapacity.Set(int64(c.bound))
 }
 
 func (c *planCache) stats() CacheStats {

@@ -17,6 +17,7 @@ import (
 	"context"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -91,12 +92,16 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 		extra:   extra,
 	}
 	if p, ok := s.cache.get(key); ok {
+		obs.Log().Debug("plan cache hit", "variant", variant, "graph", key.graph)
 		return p, nil
 	}
+	stop := obs.PlanSolveTimer(variant).Start()
 	p, err := solve(s.ctx)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	obs.Log().Debug("plan solved", "variant", variant, "graph", key.graph, "period", p.Iter.Period)
 	s.cache.put(key, p)
 	return p, nil
 }

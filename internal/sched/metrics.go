@@ -1,0 +1,23 @@
+package sched
+
+import "repro/internal/obs"
+
+// recordPlan publishes a freshly solved plan's observability metrics:
+// the kernel period (the schedule makespan) into the per-scheme
+// histogram and the number of vertices the retiming actually moved
+// into the scheduler counter.  It returns p so return sites can wrap
+// their plan literal in place.
+func recordPlan(p *Plan) *Plan {
+	if !obs.Enabled() {
+		return p
+	}
+	obs.MakespanHistogram(p.Scheme).Observe(float64(p.Iter.Period))
+	retimed := 0
+	for _, r := range p.LogicalRetiming.R {
+		if r > 0 {
+			retimed++
+		}
+	}
+	obs.SchedRetimedVertices.Add(int64(retimed))
+	return p
+}

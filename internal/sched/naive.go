@@ -67,7 +67,7 @@ func NaiveCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) 
 			makespan = tasks[i].Finish
 		}
 	}
-	return &Plan{
+	return recordPlan(&Plan{
 		Scheme: "naive",
 		Iter: IterationSchedule{
 			Graph:      g,
@@ -77,5 +77,5 @@ func NaiveCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error) 
 			Assignment: assignment,
 		},
 		ConcurrentIterations: 1,
-	}, nil
+	}), nil
 }

@@ -281,7 +281,7 @@ func ParaCONVGivenScheduleCtx(ctx context.Context, g *dag.Graph, iter IterationS
 		}
 	}
 	iter.Assignment = alloc.Assignment
-	return &Plan{
+	return recordPlan(&Plan{
 		Scheme:               "para-conv",
 		Iter:                 iter,
 		ConcurrentIterations: 1,
@@ -290,7 +290,7 @@ func ParaCONVGivenScheduleCtx(ctx context.Context, g *dag.Graph, iter IterationS
 		LogicalRetiming:      res,
 		CachedIPRs:           alloc.CachedCount,
 		CacheLoadUnits:       alloc.CacheUsed,
-	}, nil
+	}), nil
 }
 
 // paraCONVKernel builds the Para-CONV plan for a fixed group count
@@ -357,7 +357,7 @@ func paraCONVKernel(ctx context.Context, g *dag.Graph, cfg pim.Config, groups in
 	if err := checkSchedule(&full, groups*alloc.CacheUsed, cfg.TotalCacheUnits()); err != nil {
 		return nil, fmt.Errorf("sched: para-conv replicated kernel: %w", err)
 	}
-	return &Plan{
+	return recordPlan(&Plan{
 		Scheme:               "para-conv",
 		Iter:                 full,
 		ConcurrentIterations: groups,
@@ -366,7 +366,7 @@ func paraCONVKernel(ctx context.Context, g *dag.Graph, cfg pim.Config, groups in
 		LogicalRetiming:      res,
 		CachedIPRs:           alloc.CachedCount,
 		CacheLoadUnits:       groups * alloc.CacheUsed,
-	}, nil
+	}), nil
 }
 
 // expandRetiming replicates a single-group retiming result onto the

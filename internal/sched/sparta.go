@@ -51,13 +51,13 @@ func SPARTACtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, error)
 			load += g.Edge(dag.EdgeID(i)).Size
 		}
 	}
-	return &Plan{
+	return recordPlan(&Plan{
 		Scheme:               "sparta",
 		Iter:                 iter,
 		ConcurrentIterations: 1,
 		CachedIPRs:           cached,
 		CacheLoadUnits:       load,
-	}, nil
+	}), nil
 }
 
 // greedyCache is SPARTA's cache policy: tasks' traffic volumes are the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -25,7 +26,7 @@ func TestTraceRunMatchesRunParaCONV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats != fast {
+	if !reflect.DeepEqual(stats, fast) {
 		t.Errorf("TraceRun stats %+v != Run stats %+v", stats, fast)
 	}
 	if len(tr.Events) == 0 {
@@ -54,7 +55,7 @@ func TestTraceRunMatchesRunSPARTA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats != fast {
+	if !reflect.DeepEqual(stats, fast) {
 		t.Errorf("stats mismatch: %+v vs %+v", stats, fast)
 	}
 	// Every iteration appears and completes in order.
@@ -269,7 +270,7 @@ func TestTraceAgreesWithRunProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return slow == fast
+		return reflect.DeepEqual(slow, fast)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/sched"
 )
@@ -46,6 +47,11 @@ type Stats struct {
 	// BusyPE is the total PE-busy time units; utilization is
 	// BusyPE / (Cycles * NumPEs).
 	BusyPE int
+	// PEBusy is the per-PE busy time, indexed by PE id; its entries
+	// sum to BusyPE.  Both simulator paths derive it from the same
+	// task placement the event stream replays, so it cross-checks
+	// Trace.PEBusy exactly.
+	PEBusy []int
 	// NumPEs echoes the configuration for utilization math.
 	NumPEs int
 
@@ -130,8 +136,10 @@ func runSequential(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, err
 	stats.Iterations = iterations
 	stats.TasksExecuted = iterations * g.NumNodes()
 	stats.BusyPE = iterations * totalExec(g)
+	stats.PEBusy = perPEBusy(plan, cfg.NumPEs, iterations)
 	accumulateTraffic(&stats, g, plan.Iter.Assignment, cfg, iterations)
 	stats.PeakCacheLoad = cacheLoad(g, plan.Iter.Assignment)
+	recordRunMetrics(stats, 0)
 	return stats, nil
 }
 
@@ -208,9 +216,44 @@ func runPipelined(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterati
 	stats.Iterations = rounds * kernelIters
 	stats.TasksExecuted = rounds * g.NumNodes()
 	stats.BusyPE = rounds * totalExec(g)
+	stats.PEBusy = perPEBusy(plan, cfg.NumPEs, rounds)
 	accumulateTraffic(&stats, g, plan.Iter.Assignment, cfg, rounds)
 	stats.PeakCacheLoad = cacheLoad(g, plan.Iter.Assignment)
+	recordRunMetrics(stats, r.RMax)
 	return stats, nil
+}
+
+// perPEBusy distributes the total busy time over PEs: each scheduled
+// task instance contributes its execution span to its PE once per
+// repetition (iteration or kernel round).  This is exactly the
+// accounting the event-level trace derives from task start/end pairs,
+// so Stats.PEBusy and Trace.PEBusy agree entry by entry.
+func perPEBusy(plan *sched.Plan, numPEs, repetitions int) []int {
+	out := make([]int, numPEs)
+	for i := range plan.Iter.Tasks {
+		t := &plan.Iter.Tasks[i]
+		if int(t.PE) < numPEs {
+			out[t.PE] += (t.Finish - t.Start) * repetitions
+		}
+	}
+	return out
+}
+
+// recordRunMetrics publishes one completed run's measurements to the
+// shared observability registry: run and prologue counts, aggregate
+// busy/idle PE-time, and per-placement fetch counts and volumes.
+func recordRunMetrics(stats Stats, rmax int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.SimRuns.Inc()
+	obs.SimPEBusyTime.Add(int64(stats.BusyPE))
+	obs.SimPEIdleTime.Add(int64(stats.Cycles*stats.NumPEs - stats.BusyPE))
+	obs.SimProloguePeriods.Add(int64(rmax))
+	obs.TransferReads("cache").Add(int64(stats.CacheReads))
+	obs.TransferBytes("cache").Add(stats.CacheBytes)
+	obs.TransferReads("edram").Add(int64(stats.EDRAMReads))
+	obs.TransferBytes("edram").Add(stats.EDRAMBytes)
 }
 
 func totalExec(g *dag.Graph) int {

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeParsesAsTraceEvents is the satellite golden check:
+// the Chrome export must round-trip through encoding/json as a valid
+// trace-event document — a top-level traceEvents array whose complete
+// events carry the viewer's required fields with sane values.
+func TestWriteChromeParsesAsTraceEvents(t *testing.T) {
+	plan, tr := tracedPlan(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr, plan.Iter.Graph); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Cat  *string `json:"cat"`
+			Ph   *string `json:"ph"`
+			Ts   *int    `json:"ts"`
+			Dur  *int    `json:"dur"`
+			PID  *int    `json:"pid"`
+			TID  *int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no traceEvents")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || *ev.Name == "" {
+			t.Fatalf("event %d: missing name", i)
+		}
+		if ev.Ph == nil || *ev.Ph == "" {
+			t.Fatalf("event %d (%s): missing ph", i, *ev.Name)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %d (%s): missing pid/tid", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "X": // complete event: needs a timestamp and a duration
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Fatalf("event %d (%s): complete event missing ts/dur", i, *ev.Name)
+			}
+			if *ev.Ts < 0 || *ev.Dur < 0 {
+				t.Errorf("event %d (%s): negative ts/dur (%d, %d)", i, *ev.Name, *ev.Ts, *ev.Dur)
+			}
+			if ev.Cat == nil || *ev.Cat == "" {
+				t.Errorf("event %d (%s): complete event missing cat", i, *ev.Name)
+			}
+		case "M": // metadata (process/thread names)
+		default:
+			t.Errorf("event %d (%s): unexpected phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cnn"
 	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/obs/tracestat"
 	"repro/internal/opt"
 	"repro/internal/pim"
 	"repro/internal/run"
@@ -276,4 +278,32 @@ type QueueStats = sim.QueueStats
 // (mean, p95, max) — the serving-latency view of the system.
 func SimulateQueue(g *Graph, cfg Config, assignment []Placement, interval, iterations, window int) (QueueStats, error) {
 	return sim.Queueing(g, cfg, assignment, interval, iterations, window)
+}
+
+// MetricsRegistry is the module's concurrency-safe metrics registry:
+// counters, gauges and fixed-bucket histograms with Prometheus-text
+// and JSON exporters.
+type MetricsRegistry = obs.Registry
+
+// Metrics returns the shared default registry every instrumented
+// subsystem (plan cache, scheduler, simulators, benchmark runner)
+// writes to.  Serve it with paraconv's or benchtab's -http flag, or
+// export it directly via WritePrometheus / WriteJSON.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// SetMetricsEnabled turns instrument writes on or off globally.
+// Instrumentation is on by default; disabling reduces every record
+// site to a single atomic load.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// TraceReport is the trace-derived analytics of one simulation run:
+// per-PE utilization timelines and the idle-time breakdown into
+// pipeline-fill prologue, waiting-on-transfer and no-ready-task.
+type TraceReport = tracestat.Report
+
+// AnalyzeTrace post-processes a traced simulation run (SimulateTrace)
+// into a TraceReport.  plan and stats must come from the same run as
+// the trace.
+func AnalyzeTrace(tr *SimTrace, plan *ExecutionPlan, stats SimStats) (*TraceReport, error) {
+	return tracestat.Analyze(tr, plan, stats)
 }

@@ -36,7 +36,7 @@ go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+trap 'if [[ -n "${http_pid:-}" ]]; then kill "$http_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/benchtab" ./cmd/benchtab
 "$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
 "$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
@@ -45,5 +45,48 @@ if ! cmp -s "$tmpdir/serial.out" "$tmpdir/par4.out"; then
     diff "$tmpdir/serial.out" "$tmpdir/par4.out" >&2 || true
     exit 1
 fi
+
+echo "== debug endpoint smoke"
+# The -http debug server must come up on a free port and expose the
+# core metric families after a run.  -http-hold keeps it alive until
+# we have curled it; the port is read from the startup log line.
+"$tmpdir/benchtab" -exp latency -http 127.0.0.1:0 -http-hold 60s \
+    > "$tmpdir/http.out" 2> "$tmpdir/http.err" &
+http_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if grep -q "holding debug server" "$tmpdir/http.err"; then
+        addr=$(sed -n 's/.*debug server listening on \([0-9.:]*\).*/\1/p' "$tmpdir/http.err" | head -n1)
+        break
+    fi
+    if ! kill -0 "$http_pid" 2>/dev/null; then
+        echo "benchtab -http exited early:" >&2
+        cat "$tmpdir/http.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "benchtab -http never reported its address:" >&2
+    cat "$tmpdir/http.err" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/metrics" > "$tmpdir/metrics.txt"
+for family in \
+    paraconv_plancache_hits_total \
+    paraconv_sched_dp_rows_total \
+    paraconv_sim_runs_total \
+    paraconv_runner_jobs_finished_total; do
+    if ! grep -q "^$family" "$tmpdir/metrics.txt"; then
+        echo "/metrics is missing family $family:" >&2
+        head -n 40 "$tmpdir/metrics.txt" >&2
+        exit 1
+    fi
+done
+curl -fsS "http://$addr/metrics.json" | python3 -c 'import json,sys; json.load(sys.stdin)' \
+    || { echo "/metrics.json is not valid JSON" >&2; exit 1; }
+kill "$http_pid"
+wait "$http_pid" 2>/dev/null || true
+http_pid=""
 
 echo "CI gate passed."
