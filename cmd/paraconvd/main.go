@@ -1,0 +1,90 @@
+// Command paraconvd is the Para-CONV planning daemon: a long-running
+// HTTP service that turns task graphs into retimed, cache-allocated
+// execution plans for concurrent accelerator clients.
+//
+// Usage:
+//
+//	paraconvd [-addr HOST:PORT] [-workers N] [-queue N]
+//	          [-drain-timeout D] [-request-timeout D] [-max-body N]
+//	          [-max-nodes N] [-max-edges N] [-cache-bound N]
+//	          [-loglevel LEVEL] [-metrics]
+//
+// Endpoints: POST /v1/plan, POST /v1/simulate, POST /v1/selectarch
+// (JSON bodies; see DESIGN.md "Serving layer"), GET /healthz,
+// GET /readyz, and the obs debug endpoints /metrics, /metrics.json
+// and /debug/pprof/ on the same listener.
+//
+// An -addr without a host (":8080") binds loopback; serving beyond
+// the machine requires an explicit interface ("0.0.0.0:8080").
+// SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503,
+// intake stops, queued work finishes (bounded by -drain-timeout), and
+// the process exits 0 on a clean drain, 1 if the timeout cut work off.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paraconvd: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (empty host binds loopback; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "solve-pool workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission-queue depth; requests beyond it are shed with 429")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for queued work before cutting it off")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "default per-request solve deadline (clients may lower it via timeout_ms)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	maxNodes := flag.Int("max-nodes", 20000, "maximum graph vertices accepted from the network")
+	maxEdges := flag.Int("max-edges", 200000, "maximum graph edges accepted from the network")
+	cacheBound := flag.Int("cache-bound", 0, "plan-cache entry bound (0 = default)")
+	logLevel := flag.String("loglevel", "info", "structured-log level: debug, info, warn, error")
+	metrics := flag.Bool("metrics", true, "record runtime metrics (disable to measure the uninstrumented path)")
+	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs.SetLogger(obs.SetupLogging(os.Stderr, lvl, false))
+	obs.SetEnabled(*metrics)
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *requestTimeout,
+		MaxGraphNodes:  *maxNodes,
+		MaxGraphEdges:  *maxEdges,
+		CacheBound:     *cacheBound,
+	})
+	running, err := s.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (workers %d, queue %d)", running.Addr(), *workers, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+
+	log.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	if err := running.Drain(*drainTimeout); err != nil {
+		st := s.CacheStats()
+		log.Printf("drain cut off in-flight work: %v (cache: %d hits, %d misses, %d dedup)",
+			err, st.Hits, st.Misses, st.DedupHits)
+		os.Exit(1)
+	}
+	st := s.CacheStats()
+	log.Printf("drained cleanly (cache: %d hits, %d misses, %d dedup, %d entries)",
+		st.Hits, st.Misses, st.DedupHits, st.Size)
+}

@@ -1,0 +1,243 @@
+// Command paraconvload is a closed-loop load generator for paraconvd:
+// N workers each keep exactly one request in flight against a mixed
+// population of synthetic graphs, so measured throughput and latency
+// reflect the service under steady concurrency rather than an open
+// firehose.
+//
+// Usage:
+//
+//	paraconvload [-addr HOST:PORT] [-workers N] [-duration D] [-n N]
+//	             [-endpoint plan|simulate|selectarch] [-variant V]
+//	             [-pes N] [-iters N] [-timeout-ms N] [-seed N]
+//
+// The graph mix comes from internal/synth: three deterministic size
+// classes (small/medium/large layered DAGs, three seeds each), chosen
+// per request by each worker's seeded generator.  Every request is
+// accounted for exactly once — by HTTP status or as a transport
+// error — and the report shows throughput, p50/p90/p99/max latency
+// and the shed (429) rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/synth"
+)
+
+// requestBody mirrors the server's request schema (the server rejects
+// unknown fields, so this must stay in sync with internal/server).
+type requestBody struct {
+	Graph      string `json:"graph"`
+	Arch       string `json:"arch"`
+	PEs        int    `json:"pes"`
+	Iterations int    `json:"iterations"`
+	Variant    string `json:"variant,omitempty"`
+	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+}
+
+// sizeClass is one entry of the graph mix.
+type sizeClass struct {
+	name     string
+	vertices int
+	edges    int
+}
+
+var sizeClasses = []sizeClass{
+	{"small", 20, 40},
+	{"medium", 60, 150},
+	{"large", 120, 320},
+}
+
+// workerResult is one worker's private tally, merged after the run.
+type workerResult struct {
+	latencies []time.Duration // one entry per completed HTTP exchange
+	status    map[int]int     // responses by status code
+	transport int             // requests that died before a status
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paraconvload: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "paraconvd address")
+	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load (ignored when -n > 0)")
+	total := flag.Int("n", 0, "total request budget (0 = run for -duration)")
+	endpoint := flag.String("endpoint", "plan", "endpoint to drive: plan, simulate or selectarch")
+	variant := flag.String("variant", "", "planner variant to request (empty = server default)")
+	pes := flag.Int("pes", 16, "processing engines per request")
+	iters := flag.Int("iters", 100, "iterations per request")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request solve deadline to send (0 = server default)")
+	seed := flag.Int64("seed", 1, "base seed for the graph mix and per-worker choice")
+	flag.Parse()
+
+	switch *endpoint {
+	case "plan", "simulate", "selectarch":
+	default:
+		log.Fatalf("unknown endpoint %q (want plan, simulate or selectarch)", *endpoint)
+	}
+	if *workers < 1 {
+		log.Fatal("-workers must be >= 1")
+	}
+
+	bodies, names, err := buildBodies(*seed, *pes, *iters, *variant, *timeoutMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mix: %s\n", strings.Join(names, ", "))
+
+	url := fmt.Sprintf("http://%s/v1/%s", *addr, *endpoint)
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+		Timeout: 5 * time.Minute,
+	}
+
+	results := make([]*workerResult, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	// With -n, each worker takes an equal share (the first workers
+	// absorb the remainder) so the budget is exact.
+	for i := 0; i < *workers; i++ {
+		share := 0
+		if *total > 0 {
+			share = *total / *workers
+			if i < *total%*workers {
+				share++
+			}
+		}
+		res := &workerResult{status: make(map[int]int)}
+		results[i] = res
+		wg.Add(1)
+		go func(workerSeed int64, budget int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed))
+			for n := 0; ; n++ {
+				if budget > 0 {
+					if n >= budget {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					res.transport++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.latencies = append(res.latencies, time.Since(t0))
+				res.status[resp.StatusCode]++
+			}
+		}(*seed+int64(i)*7919, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(os.Stdout, results, elapsed)
+}
+
+// buildBodies pre-serializes one request body per (size class, seed)
+// cell so the hot loop never touches the generator.
+func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int) ([][]byte, []string, error) {
+	var bodies [][]byte
+	var names []string
+	for _, sc := range sizeClasses {
+		for s := int64(0); s < 3; s++ {
+			g, err := synth.Generate(synth.Params{
+				Name:     fmt.Sprintf("load-%s-%d", sc.name, s),
+				Vertices: sc.vertices,
+				Edges:    sc.edges,
+				Seed:     seed + s,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("generating %s graph: %w", sc.name, err)
+			}
+			var text bytes.Buffer
+			if err := dag.WriteText(&text, g); err != nil {
+				return nil, nil, err
+			}
+			body, err := json.Marshal(requestBody{
+				Graph:      text.String(),
+				Arch:       "neurocube",
+				PEs:        pes,
+				Iterations: iters,
+				Variant:    variant,
+				TimeoutMS:  timeoutMS,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			bodies = append(bodies, body)
+			names = append(names, fmt.Sprintf("%s(%dv/%de)", sc.name, sc.vertices, sc.edges))
+		}
+	}
+	return bodies, names, nil
+}
+
+// report merges the per-worker tallies and prints the run summary.
+// The accounting identity — every started request appears in exactly
+// one bucket — is printed so dropped-but-unreported requests are
+// impossible to miss.
+func report(w io.Writer, results []*workerResult, elapsed time.Duration) {
+	var latencies []time.Duration
+	status := make(map[int]int)
+	transport := 0
+	for _, r := range results {
+		latencies = append(latencies, r.latencies...)
+		for code, n := range r.status {
+			status[code] += n
+		}
+		transport += r.transport
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	completed := len(latencies)
+	started := completed + transport
+	fmt.Fprintf(w, "\n%d requests in %s (%.1f req/s completed)\n",
+		started, elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds())
+
+	codes := make([]int, 0, len(status))
+	for code := range status {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(w, "  status %d: %d\n", code, status[code])
+	}
+	if transport > 0 {
+		fmt.Fprintf(w, "  transport errors: %d\n", transport)
+	}
+	fmt.Fprintf(w, "  accounted: %d by status + %d transport = %d started\n",
+		completed, transport, started)
+	if shed := status[http.StatusTooManyRequests]; started > 0 {
+		fmt.Fprintf(w, "  shed rate: %.2f%%\n", 100*float64(shed)/float64(started))
+	}
+	if completed > 0 {
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(completed-1))
+			return latencies[i]
+		}
+		fmt.Fprintf(w, "  latency p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(0.50).Round(10*time.Microsecond), pct(0.90).Round(10*time.Microsecond),
+			pct(0.99).Round(10*time.Microsecond), latencies[completed-1].Round(10*time.Microsecond))
+	}
+}

@@ -84,6 +84,11 @@ func AllPasses() []Pass {
 			Doc:  "expvar use or obs.NewRegistry call outside internal/obs; metrics must go through the shared registry's instruments",
 			Run:  runObsReg,
 		},
+		{
+			Name: "httpserve",
+			Doc:  "network listener or HTTP serving outside internal/obs and internal/server; all serving goes through the sanctioned trees",
+			Run:  runHTTPServe,
+		},
 	}
 }
 

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// servePackageSuffixes are the package trees allowed to open network
+// listeners: the obs debug server and the planning service.  Serving
+// anywhere else fragments the deployment surface — listeners that the
+// daemon's drain sequence never stops and the loopback-by-default
+// binding policy never covers.
+var servePackageSuffixes = []string{"/internal/obs", "/internal/server"}
+
+// bannedListenFuncs maps a defining package path to the function and
+// method names that open or serve a listener.  Matching on the
+// resolved *types.Func covers both package-level calls
+// (net.Listen, http.ListenAndServe) and method calls
+// ((*http.Server).ListenAndServe, (*http.Server).Serve).
+var bannedListenFuncs = map[string]map[string]bool{
+	"net": {
+		"Listen": true, "ListenTCP": true, "ListenUDP": true,
+		"ListenUnix": true, "ListenIP": true, "ListenPacket": true,
+	},
+	"net/http": {
+		"ListenAndServe": true, "ListenAndServeTLS": true,
+		"Serve": true, "ServeTLS": true,
+	},
+}
+
+// runHTTPServe flags listener creation and HTTP serving outside the
+// sanctioned trees.
+func runHTTPServe(m *Module, p *Package) []Diagnostic {
+	if pathSuffixMatch(m, p, servePackageSuffixes) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isBannedListenCall(p, sel) {
+				return true
+			}
+			diags = append(diags, diag(m, "httpserve", call.Pos(),
+				"network listener opened outside internal/obs and internal/server; serve through internal/server (or the obs debug server)"))
+			return true
+		})
+	}
+	return diags
+}
+
+// isBannedListenCall reports whether sel resolves to one of the
+// listener-opening functions, preferring type information and falling
+// back to the syntactic package-qualified form when type checking
+// could not resolve the callee.
+func isBannedListenCall(p *Package, sel *ast.SelectorExpr) bool {
+	if p.Info != nil {
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+			pkg := fn.Pkg()
+			return pkg != nil && bannedListenFuncs[pkg.Path()][fn.Name()]
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "net":
+		return bannedListenFuncs["net"][sel.Sel.Name]
+	case "http":
+		return bannedListenFuncs["net/http"][sel.Sel.Name]
+	}
+	return false
+}

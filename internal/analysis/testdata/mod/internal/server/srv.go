@@ -1,0 +1,20 @@
+// Package server mirrors the real module's planning service for the
+// httpserve pass: this tree (like internal/obs) is sanctioned to open
+// listeners, so nothing here is flagged.
+package server
+
+import (
+	"net"
+	"net/http"
+)
+
+// Listen opens the service listener; allowed in this tree.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Serve runs an HTTP server on the listener; allowed in this tree.
+func Serve(ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	return srv.Serve(ln)
+}

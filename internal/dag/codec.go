@@ -42,9 +42,44 @@ func sanitizeToken(s, fallback string) string {
 	return s
 }
 
-// ReadText parses the package text format.  The returned graph is
-// validated; any structural defect is reported as an error.
+// Limits bounds what ReadTextLimits accepts, for parsing graphs from
+// untrusted input (the planning service's network requests).  Zero
+// values mean "no cap" on that dimension.
+type Limits struct {
+	// MaxNodes and MaxEdges cap the declared graph size.  Parsing
+	// fails fast with a *LimitError as soon as a cap is crossed, so
+	// an oversized input costs at most the capped prefix.
+	MaxNodes int
+	MaxEdges int
+}
+
+// LimitError reports a graph exceeding a ReadTextLimits cap.  It is a
+// distinct type so servers can map it to a client error (the input is
+// well-formed but over policy) rather than an internal failure.
+type LimitError struct {
+	// Kind is "nodes" or "edges".
+	Kind string
+	// Max is the cap that was crossed; Line is the input line that
+	// crossed it.
+	Max  int
+	Line int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dag: line %d: graph exceeds %s limit %d", e.Line, e.Kind, e.Max)
+}
+
+// ReadText parses the package text format with no size caps.  The
+// returned graph is validated; any structural defect is reported as
+// an error.
 func ReadText(r io.Reader) (*Graph, error) {
+	return ReadTextLimits(r, Limits{})
+}
+
+// ReadTextLimits is ReadText with caps on the declared graph size;
+// crossing a cap aborts the parse with a *LimitError.
+func ReadTextLimits(r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	g := New("")
@@ -81,6 +116,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if len(fields) == 5 && fields[4] != "-" {
 				name = fields[4]
 			}
+			if lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes {
+				return nil, &LimitError{Kind: "nodes", Max: lim.MaxNodes, Line: lineNo}
+			}
 			got := g.AddNode(Node{Name: name, Kind: kind, Exec: exec})
 			if int(got) != id {
 				return nil, fmt.Errorf("dag: line %d: node ids must be dense and in order: declared %d, assigned %d", lineNo, id, got)
@@ -97,6 +135,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			}
 			if from < 0 || from >= g.NumNodes() || to < 0 || to >= g.NumNodes() {
 				return nil, fmt.Errorf("dag: line %d: edge %d->%d references undeclared node", lineNo, from, to)
+			}
+			if lim.MaxEdges > 0 && g.NumEdges() >= lim.MaxEdges {
+				return nil, &LimitError{Kind: "edges", Max: lim.MaxEdges, Line: lineNo}
 			}
 			g.AddEdge(Edge{From: NodeID(from), To: NodeID(to), Size: size, CacheTime: ct, EDRAMTime: et})
 		default:

@@ -2,6 +2,8 @@ package dag
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -207,5 +209,78 @@ func TestReadTextRandomBytesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReadTextLimits exercises the untrusted-input size caps: graphs
+// under the caps parse, graphs over a cap fail fast with a typed
+// *LimitError the serving layer maps to a client error.
+func TestReadTextLimits(t *testing.T) {
+	const text = `graph t
+node 0 conv 1 a
+node 1 conv 2 b
+node 2 conv 3 c
+edge 0 1 1 0 2
+edge 0 2 1 0 2
+edge 1 2 1 0 2
+`
+	tests := []struct {
+		name     string
+		lim      Limits
+		wantKind string // "" = parse succeeds
+		wantMax  int
+	}{
+		{"unlimited", Limits{}, "", 0},
+		{"exactly-at-caps", Limits{MaxNodes: 3, MaxEdges: 3}, "", 0},
+		{"node-cap-only-generous", Limits{MaxNodes: 100}, "", 0},
+		{"over-node-cap", Limits{MaxNodes: 2, MaxEdges: 100}, "nodes", 2},
+		{"over-edge-cap", Limits{MaxNodes: 100, MaxEdges: 2}, "edges", 2},
+		{"node-cap-one", Limits{MaxNodes: 1}, "nodes", 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadTextLimits(strings.NewReader(text), tc.lim)
+			if tc.wantKind == "" {
+				if err != nil {
+					t.Fatalf("ReadTextLimits: %v", err)
+				}
+				if g.NumNodes() != 3 || g.NumEdges() != 3 {
+					t.Fatalf("parsed %d nodes / %d edges, want 3 / 3", g.NumNodes(), g.NumEdges())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("ReadTextLimits succeeded, want a limit error")
+			}
+			var lim *LimitError
+			if !errors.As(err, &lim) {
+				t.Fatalf("error %v (%T) is not a *LimitError", err, err)
+			}
+			if lim.Kind != tc.wantKind || lim.Max != tc.wantMax {
+				t.Errorf("LimitError{Kind: %q, Max: %d}, want {%q, %d}", lim.Kind, lim.Max, tc.wantKind, tc.wantMax)
+			}
+			if lim.Line == 0 {
+				t.Error("LimitError.Line is unset")
+			}
+		})
+	}
+}
+
+// TestReadTextUnchangedByLimits pins ReadText to the unlimited path.
+func TestReadTextUnchangedByLimits(t *testing.T) {
+	big := &strings.Builder{}
+	fmt.Fprintln(big, "graph big")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(big, "node %d conv 1 -\n", i)
+	}
+	for i := 0; i+1 < 500; i++ {
+		fmt.Fprintf(big, "edge %d %d 1 0 2\n", i, i+1)
+	}
+	g, err := ReadText(strings.NewReader(big.String()))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("parsed %d nodes, want 500", g.NumNodes())
 	}
 }

@@ -53,6 +53,13 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// DefaultHandler returns Handler over the shared Default registry —
+// the mountable form of the debug endpoints for daemons (paraconvd)
+// that serve /metrics, /metrics.json and /debug/pprof/ from their own
+// listener instead of running a second debug port.  The standalone
+// StartDebugServer path keeps working independently.
+func DefaultHandler() http.Handler { return Handler(Default()) }
+
 // DebugServer is a running debug HTTP server.
 type DebugServer struct {
 	ln  net.Listener

@@ -19,8 +19,18 @@ var (
 	PlanCacheHits      = Default().Counter("paraconv_plancache_hits_total", "plan-cache lookups served from the cache")
 	PlanCacheMisses    = Default().Counter("paraconv_plancache_misses_total", "plan-cache lookups that required a fresh solve")
 	PlanCacheEvictions = Default().Counter("paraconv_plancache_evictions_total", "plan-cache entries evicted by the LRU bound")
+	PlanCacheDedupHits = Default().Counter("paraconv_plancache_dedup_hits_total", "concurrent cache misses that rode another caller's in-flight solve (singleflight)")
 	PlanCacheEntries   = Default().Gauge("paraconv_plancache_entries", "current plan-cache entry count (most recently updated session)")
 	PlanCacheCapacity  = Default().Gauge("paraconv_plancache_capacity", "plan-cache entry bound (most recently updated session; 0 = caching disabled)")
+)
+
+// Planning service (internal/server): admission control and request
+// accounting for the paraconvd daemon.
+var (
+	ServerQueueDepth    = Default().Gauge("paraconv_server_queue_depth", "admission-queue entries waiting for a worker")
+	ServerQueueCapacity = Default().Gauge("paraconv_server_queue_capacity", "admission-queue capacity (requests beyond it are shed with 429)")
+	ServerInflight      = Default().Gauge("paraconv_server_inflight", "requests currently executing on a pool worker")
+	ServerShed          = Default().Counter("paraconv_server_shed_total", "requests rejected with 429 because the admission queue was full")
 )
 
 // Scheduler (internal/sched, internal/core).
@@ -44,6 +54,23 @@ var (
 	RunnerJobsFailed   = Default().Counter("paraconv_runner_jobs_failed_total", "experiment-cell jobs that returned an error")
 	RunnerQueueWait    = Default().Timer("paraconv_runner_queue_wait_seconds", "time a parallel job waited for a free worker")
 )
+
+// ServerRequests returns the request counter for one service endpoint
+// ("plan", "simulate", "selectarch") and status class ("2xx", "4xx",
+// "429", "499", "504", "5xx") — both label sets are small and fixed.
+func ServerRequests(endpoint, class string) *Counter {
+	return Default().Counter("paraconv_server_requests_total",
+		"planning-service requests by endpoint and response status class",
+		Label{Key: "endpoint", Value: endpoint}, Label{Key: "code", Value: class})
+}
+
+// ServerRequestTimer returns the end-to-end request latency timer for
+// one service endpoint (admission wait plus solve plus encode).
+func ServerRequestTimer(endpoint string) *Timer {
+	return Default().Timer("paraconv_server_request_seconds",
+		"wall-clock latency of one planning-service request",
+		Label{Key: "endpoint", Value: endpoint})
+}
 
 // PlanSolveTimer returns the plan-latency phase timer for one planner
 // variant ("para-conv", "sparta", ...).  The histogram's count doubles

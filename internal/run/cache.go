@@ -31,6 +31,9 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// DedupHits counts misses that avoided a solve by riding another
+	// caller's in-flight solve of the same problem (singleflight).
+	DedupHits uint64
 	// Size is the current entry count; Bound is the capacity
 	// (0 means caching is disabled).
 	Size  int
@@ -53,6 +56,13 @@ type planCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	dedupHits uint64
+
+	// flights holds the in-progress solves concurrent misses attach
+	// to (see singleflight.go).  A separate mutex so waiters never
+	// contend with the LRU's get/put fast path.
+	flightMu sync.Mutex
+	flights  map[cacheKey]*flightCall
 }
 
 func newPlanCache(bound int) *planCache {
@@ -60,9 +70,10 @@ func newPlanCache(bound int) *planCache {
 		bound = 0
 	}
 	return &planCache{
-		bound: bound,
-		ll:    list.New(),
-		items: make(map[cacheKey]*list.Element),
+		bound:   bound,
+		ll:      list.New(),
+		items:   make(map[cacheKey]*list.Element),
+		flights: make(map[cacheKey]*flightCall),
 	}
 }
 
@@ -77,6 +88,21 @@ func (c *planCache) get(key cacheKey) (*sched.Plan, bool) {
 	}
 	c.misses++
 	obs.PlanCacheMisses.Inc()
+	return nil, false
+}
+
+// peek is get without the hit/miss accounting, for the double-check a
+// flight leader performs after winning leadership: a solve that
+// completed between this caller's miss and its flight registration
+// has already populated the cache, and re-reading it there keeps
+// every caller on one shared *Plan without recounting the lookup.
+func (c *planCache) peek(key cacheKey) (*sched.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).plan, true
+	}
 	return nil, false
 }
 
@@ -113,6 +139,7 @@ func (c *planCache) stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		DedupHits: c.dedupHits,
 		Size:      c.ll.Len(),
 		Bound:     c.bound,
 	}

@@ -70,6 +70,18 @@ func (s *Session) Context() context.Context {
 	return s.ctx
 }
 
+// WithContext returns a Session scoped to ctx that shares this
+// session's plan cache (and its in-flight solve dedup).  This is how
+// a long-lived owner — the planning daemon — gives each request its
+// own deadline while every request still benefits from, and feeds,
+// one shared cache.  A nil ctx means context.Background().
+func (s *Session) WithContext(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{ctx: ctx, cache: s.cache}
+}
+
 // CacheStats returns a snapshot of the plan cache's counters.
 func (s *Session) CacheStats() CacheStats {
 	return s.cache.stats()
@@ -95,15 +107,27 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 		obs.Log().Debug("plan cache hit", "variant", variant, "graph", key.graph)
 		return p, nil
 	}
-	stop := obs.PlanSolveTimer(variant).Start()
-	p, err := solve(s.ctx)
-	stop()
-	if err != nil {
-		return nil, err
-	}
-	obs.Log().Debug("plan solved", "variant", variant, "graph", key.graph, "period", p.Iter.Period)
-	s.cache.put(key, p)
-	return p, nil
+	// Miss: collapse concurrent solves of the same problem into one
+	// (singleflight) — under the concurrent server, a burst of
+	// identical requests otherwise all reach this point before the
+	// first solve can populate the cache.
+	return s.cache.doFlight(s.ctx, key, func() (*sched.Plan, error) {
+		// Double-check under flight leadership: a solve finishing
+		// between our miss and our registration has already stored
+		// the plan, and returning it keeps the pointer shared.
+		if p, ok := s.cache.peek(key); ok {
+			return p, nil
+		}
+		stop := obs.PlanSolveTimer(variant).Start()
+		p, err := solve(s.ctx)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		obs.Log().Debug("plan solved", "variant", variant, "graph", key.graph, "period", p.Iter.Period)
+		s.cache.put(key, p)
+		return p, nil
+	})
 }
 
 // Plan runs the full Para-CONV flow (group-count search, retiming,

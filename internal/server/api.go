@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/pim"
+)
+
+// request is the JSON body shared by the three solve endpoints.  Every
+// field except Graph is optional.
+type request struct {
+	// Graph is the task graph in the dag text format.
+	Graph string `json:"graph"`
+	// Arch names an architecture preset: neurocube (default), prime,
+	// hmc2 or edge.  Selectarch ignores it in favour of Archs.
+	Arch string `json:"arch"`
+	// Archs is the candidate list for /v1/selectarch; empty means
+	// every preset.
+	Archs []string `json:"archs"`
+	// PEs is the processing-engine count (default 16).
+	PEs int `json:"pes"`
+	// Iterations sizes the predicted totals and the simulation
+	// horizon (default 100).
+	Iterations int `json:"iterations"`
+	// Variant picks the planner: para-conv (default),
+	// para-conv-single, sparta or naive.
+	Variant string `json:"variant"`
+	// TimeoutMS caps this request's solve time; 0 uses the server's
+	// default request timeout.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// planResponse is the /v1/plan result: the Para-CONV decision plus
+// its predicted cost over the requested iteration count.
+type planResponse struct {
+	Scheme               string  `json:"scheme"`
+	Arch                 string  `json:"arch"`
+	PEs                  int     `json:"pes"`
+	Period               int     `json:"period"`
+	ConcurrentIterations int     `json:"concurrent_iterations"`
+	RMax                 int     `json:"r_max"`
+	PrologueTime         int     `json:"prologue_time"`
+	CachedIPRs           int     `json:"cached_iprs"`
+	CacheLoadUnits       int     `json:"cache_load_units"`
+	Vertices             int     `json:"vertices"`
+	Edges                int     `json:"edges"`
+	Iterations           int     `json:"iterations"`
+	TotalTime            int     `json:"total_time"`
+	Throughput           float64 `json:"throughput"`
+	VertexRetiming       []int   `json:"vertex_retiming,omitempty"`
+	CachedEdges          []int   `json:"cached_edges,omitempty"`
+}
+
+// simulateResponse is the /v1/simulate result: the closed-form
+// simulator's statistics for the planned schedule.
+type simulateResponse struct {
+	Scheme            string  `json:"scheme"`
+	Arch              string  `json:"arch"`
+	Iterations        int     `json:"iterations"`
+	Cycles            int     `json:"cycles"`
+	TasksExecuted     int     `json:"tasks_executed"`
+	CacheReads        int     `json:"cache_reads"`
+	EDRAMReads        int     `json:"edram_reads"`
+	CacheBytes        int64   `json:"cache_bytes"`
+	EDRAMBytes        int64   `json:"edram_bytes"`
+	EnergyPJ          float64 `json:"energy_pj"`
+	Utilization       float64 `json:"utilization"`
+	OffChipFetchRatio float64 `json:"offchip_fetch_ratio"`
+	PeakCacheLoad     int     `json:"peak_cache_load"`
+}
+
+// archResult is one /v1/selectarch ranking entry.
+type archResult struct {
+	Arch         string `json:"arch"`
+	PEs          int    `json:"pes"`
+	Period       int    `json:"period"`
+	PrologueTime int    `json:"prologue_time"`
+	TotalTime    int    `json:"total_time"`
+}
+
+// selectArchResponse is the /v1/selectarch result: the best candidate
+// and the full ranking, best first.
+type selectArchResponse struct {
+	Best    archResult   `json:"best"`
+	Ranking []archResult `json:"ranking"`
+}
+
+// errorResponse is the structured error body every non-2xx response
+// carries.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Kind is machine-checkable: bad_request, bad_graph,
+	// graph_too_large, too_large, unplannable, timeout, canceled,
+	// shed or internal.
+	Kind string `json:"kind"`
+}
+
+// statusClientClosed is the nginx-convention status for "client went
+// away before we could answer" — there is no registered HTTP code for
+// it, but the access metrics need the case distinguished from 5xx.
+const statusClientClosed = 499
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obs.Log().Debug("server: encoding response", "err", err)
+	}
+}
+
+// writeError sends a structured JSON error.
+func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+// writeSolveError maps a solve failure to a response: context errors
+// become 504/499 (the deadline or the client gave out, not the
+// server), everything else is the planner rejecting the input — the
+// graph validated, so the problem is still the client's data.
+func writeSolveError(w http.ResponseWriter, err error) {
+	var badVariant *badVariantError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosed, "canceled", "request canceled: %v", err)
+	case errors.As(err, &badVariant):
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "unplannable", "%v", err)
+	}
+}
+
+// statusClass buckets a status code into the fixed label set of the
+// request counter.
+func statusClass(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "429"
+	case status == statusClientClosed:
+		return "499"
+	case status == http.StatusGatewayTimeout:
+		return "504"
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status >= 400 && status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// configFor resolves an architecture preset name.
+func configFor(arch string, pes int) (pim.Config, error) {
+	switch arch {
+	case "", "neurocube":
+		return pim.Neurocube(pes), nil
+	case "prime":
+		return pim.PRIME(pes), nil
+	case "hmc2":
+		return pim.HMCGen2(pes), nil
+	case "edge":
+		return pim.EdgeDevice(pes), nil
+	default:
+		return pim.Config{}, fmt.Errorf("unknown architecture %q (want neurocube, prime, hmc2 or edge)", arch)
+	}
+}
+
+// parseGraph reads the request's graph text under the server's size
+// caps.
+func (s *Server) parseGraph(req *request) (*dag.Graph, error) {
+	if strings.TrimSpace(req.Graph) == "" {
+		return nil, errors.New("request has no graph")
+	}
+	return dag.ReadTextLimits(strings.NewReader(req.Graph),
+		dag.Limits{MaxNodes: s.cfg.MaxGraphNodes, MaxEdges: s.cfg.MaxGraphEdges})
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/pim"
+	"repro/internal/run"
+	"repro/internal/sched"
+)
+
+// solveFunc computes one endpoint's response under a request-scoped
+// session.  The graph is already parsed and size-checked.
+type solveFunc func(sess *run.Session, req *request, g *dag.Graph) (any, error)
+
+// statusRecorder captures the status written to a ResponseWriter so
+// the request counter can label by outcome class.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// solve is the shared request path of the three POST endpoints:
+// decode under the body cap, parse and size-check the graph, derive
+// the request deadline, admit into the worker pool (or shed), then
+// wait for the result or the deadline — whichever comes first.
+func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, fn solveFunc) {
+	stop := obs.ServerRequestTimer(endpoint).Start()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		stop()
+		obs.ServerRequests(endpoint, statusClass(sr.status)).Inc()
+	}()
+
+	req, ok := s.decodeRequest(sr, r)
+	if !ok {
+		return
+	}
+	g, err := s.parseGraph(req)
+	if err != nil {
+		var lim *dag.LimitError
+		if errors.As(err, &lim) {
+			writeError(sr, http.StatusBadRequest, "graph_too_large", "%v", lim)
+			return
+		}
+		writeError(sr, http.StatusBadRequest, "bad_graph", "%v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The job runs on a pool worker under the request's context; the
+	// buffered channel lets a late-finishing job complete after the
+	// handler has already answered 504.
+	type result struct {
+		payload any
+		err     error
+	}
+	done := make(chan result, 1)
+	job := func() {
+		if err := ctx.Err(); err != nil {
+			// Dead on dequeue: the deadline expired while queued.
+			done <- result{err: err}
+			return
+		}
+		obs.ServerInflight.Add(1)
+		defer obs.ServerInflight.Add(-1)
+		payload, err := fn(s.session.WithContext(ctx), req, g)
+		done <- result{payload: payload, err: err}
+	}
+	if !s.pool.trySubmit(job) {
+		obs.ServerShed.Inc()
+		sr.Header().Set("Retry-After", "1")
+		writeError(sr, http.StatusTooManyRequests, "shed", "admission queue full (%d deep); retry later", s.cfg.QueueDepth)
+		return
+	}
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			writeSolveError(sr, res.err)
+			return
+		}
+		writeJSON(sr, http.StatusOK, res.payload)
+	case <-ctx.Done():
+		// Queued or running past the deadline; the job will observe
+		// the same dead context and bail on its own.
+		writeSolveError(sr, ctx.Err())
+	}
+}
+
+// decodeRequest reads and validates the JSON body under the body-size
+// cap, normalizing defaults.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	req := &request{}
+	if err := dec.Decode(req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds %d bytes", tooBig.Limit)
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
+		return nil, false
+	}
+	if req.PEs == 0 {
+		req.PEs = 16
+	}
+	if req.Iterations == 0 {
+		req.Iterations = 100
+	}
+	switch {
+	case req.PEs < 1 || req.PEs > 4096:
+		writeError(w, http.StatusBadRequest, "bad_request", "pes %d out of range [1, 4096]", req.PEs)
+		return nil, false
+	case req.Iterations < 1 || req.Iterations > 1_000_000_000:
+		writeError(w, http.StatusBadRequest, "bad_request", "iterations %d out of range [1, 1e9]", req.Iterations)
+		return nil, false
+	case req.TimeoutMS < 0:
+		writeError(w, http.StatusBadRequest, "bad_request", "timeout_ms %d is negative", req.TimeoutMS)
+		return nil, false
+	}
+	return req, true
+}
+
+// planVariant dispatches a planner variant name through the session.
+func planVariant(sess *run.Session, variant string, g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	switch variant {
+	case "", "para-conv":
+		return sess.Plan(g, cfg)
+	case "para-conv-single":
+		return sess.PlanSingle(g, cfg)
+	case "sparta":
+		return sess.Baseline(g, cfg)
+	case "naive":
+		return sess.BaselineNaive(g, cfg)
+	default:
+		return nil, &badVariantError{variant}
+	}
+}
+
+// badVariantError distinguishes an unknown variant name (a 400) from
+// a planner rejection.
+type badVariantError struct{ variant string }
+
+func (e *badVariantError) Error() string {
+	return "unknown variant " + e.variant + " (want para-conv, para-conv-single, sparta or naive)"
+}
+
+// solvePlan implements POST /v1/plan.
+func (s *Server) solvePlan(sess *run.Session, req *request, g *dag.Graph) (any, error) {
+	cfg, err := configFor(req.Arch, req.PEs)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planVariant(sess, req.Variant, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := planResponse{
+		Scheme:               plan.Scheme,
+		Arch:                 cfg.Name,
+		PEs:                  plan.Iter.PEs,
+		Period:               plan.Iter.Period,
+		ConcurrentIterations: plan.ConcurrentIterations,
+		RMax:                 plan.RMax,
+		PrologueTime:         plan.PrologueTime(),
+		CachedIPRs:           plan.CachedIPRs,
+		CacheLoadUnits:       plan.CacheLoadUnits,
+		Vertices:             plan.Iter.Graph.NumNodes(),
+		Edges:                plan.Iter.Graph.NumEdges(),
+		Iterations:           req.Iterations,
+		TotalTime:            plan.TotalTime(req.Iterations),
+		Throughput:           plan.Throughput(req.Iterations),
+	}
+	if len(plan.LogicalRetiming.R) > 0 {
+		resp.VertexRetiming = append([]int(nil), plan.LogicalRetiming.R...)
+	}
+	for i, place := range plan.Iter.Assignment {
+		if place == pim.InCache {
+			resp.CachedEdges = append(resp.CachedEdges, i)
+		}
+	}
+	return resp, nil
+}
+
+// solveSimulate implements POST /v1/simulate: plan, then run the
+// closed-form simulator over the requested horizon.
+func (s *Server) solveSimulate(sess *run.Session, req *request, g *dag.Graph) (any, error) {
+	cfg, err := configFor(req.Arch, req.PEs)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planVariant(sess, req.Variant, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sess.Simulate(plan, cfg, req.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	return simulateResponse{
+		Scheme:            plan.Scheme,
+		Arch:              cfg.Name,
+		Iterations:        stats.Iterations,
+		Cycles:            stats.Cycles,
+		TasksExecuted:     stats.TasksExecuted,
+		CacheReads:        stats.CacheReads,
+		EDRAMReads:        stats.EDRAMReads,
+		CacheBytes:        stats.CacheBytes,
+		EDRAMBytes:        stats.EDRAMBytes,
+		EnergyPJ:          stats.EnergyPJ,
+		Utilization:       stats.Utilization(),
+		OffChipFetchRatio: stats.OffChipFetchRatio(),
+		PeakCacheLoad:     stats.PeakCacheLoad,
+	}, nil
+}
+
+// solveSelectArch implements POST /v1/selectarch: plan the graph on
+// every candidate architecture and rank by total time.
+func (s *Server) solveSelectArch(sess *run.Session, req *request, g *dag.Graph) (any, error) {
+	names := req.Archs
+	if len(names) == 0 {
+		names = []string{"neurocube", "prime", "hmc2", "edge"}
+	}
+	candidates := make([]pim.Config, 0, len(names))
+	for _, name := range names {
+		cfg, err := configFor(name, req.PEs)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, cfg)
+	}
+	best, ranking, err := sess.SelectArch(g, candidates, req.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	toResult := func(c sched.Candidate) archResult {
+		return archResult{
+			Arch:         c.Config.Name,
+			PEs:          c.Config.NumPEs,
+			Period:       c.Plan.Iter.Period,
+			PrologueTime: c.Plan.PrologueTime(),
+			TotalTime:    c.TotalTime,
+		}
+	}
+	resp := selectArchResponse{Best: toResult(best)}
+	for _, c := range ranking {
+		resp.Ranking = append(resp.Ranking, toResult(c))
+	}
+	return resp, nil
+}

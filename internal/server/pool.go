@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// pool is a bounded worker pool behind an explicit admission queue.
+// The queue is the service's load-shedding point: trySubmit never
+// blocks, so a full queue turns into an immediate 429 at the HTTP
+// layer instead of an unbounded pile of goroutines all running the
+// knapsack DP at once.
+type pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	// mu serializes trySubmit against close so intake can be stopped
+	// without racing a send on the closed channel.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining an admission queue of
+// the given depth.
+func newPool(workers, depth int) *pool {
+	p := &pool{queue: make(chan func(), depth)}
+	obs.ServerQueueCapacity.Set(int64(depth))
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		obs.ServerQueueDepth.Add(-1)
+		job()
+	}
+}
+
+// trySubmit enqueues job without blocking; false means the queue is
+// full (or intake has closed) and the caller must shed the request.
+func (p *pool) trySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		obs.ServerQueueDepth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// queued returns the current admission-queue length.
+func (p *pool) queued() int { return len(p.queue) }
+
+// close stops intake and waits for every queued and in-flight job to
+// finish.  Jobs observe their own request contexts, so the wait is
+// bounded by the per-request deadlines.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}

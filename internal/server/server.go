@@ -1,0 +1,216 @@
+// Package server is the planning service: Para-CONV's retiming +
+// allocation decision (PAPER.md §3) served as a long-running HTTP
+// daemon that many accelerator clients query concurrently, in the
+// host-planner role Neurocube-style PIM deployments assume.
+//
+// The service is shaped for sustained load rather than a toy mux:
+//
+//   - a bounded worker pool behind an admission queue; when the queue
+//     is full, requests are shed immediately with 429 + Retry-After
+//     instead of queueing unboundedly (counts exported as
+//     paraconv_server_* metrics);
+//   - per-request deadlines (server default, client-overridable)
+//     propagated through run.Session contexts into every DP row and
+//     scheduling loop;
+//   - concurrent identical requests ride one solve via the plan
+//     cache's singleflight, then the shared content-keyed cache;
+//   - http.MaxBytesReader input caps and dag.ReadTextLimits graph
+//     caps, both mapped to structured JSON client errors;
+//   - graceful drain: Running.Drain stops intake, finishes queued
+//     work up to a timeout, then releases the port.
+//
+// Endpoints: POST /v1/plan, POST /v1/simulate, POST /v1/selectarch,
+// GET /healthz, GET /readyz, plus the obs debug endpoints (/metrics,
+// /metrics.json, /debug/pprof/) mounted on the same listener.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/run"
+)
+
+// Config parameterizes a Server.  The zero value is usable: every
+// field has a production-shaped default.
+type Config struct {
+	// Workers is the solve-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is the admission-queue capacity; requests arriving
+	// with the queue full are shed with 429 (default 64).
+	QueueDepth int
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds a request's solve when the client does
+	// not send timeout_ms (default 30s).  MaxTimeout caps what a
+	// client may ask for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxGraphNodes and MaxGraphEdges cap graphs accepted from the
+	// network (defaults 20000 and 200000).
+	MaxGraphNodes int
+	MaxGraphEdges int
+	// CacheBound is the shared plan cache's entry bound (default
+	// run.DefaultCacheBound).
+	CacheBound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxGraphNodes <= 0 {
+		c.MaxGraphNodes = 20000
+	}
+	if c.MaxGraphEdges <= 0 {
+		c.MaxGraphEdges = 200000
+	}
+	if c.CacheBound == 0 {
+		c.CacheBound = run.DefaultCacheBound
+	}
+	return c
+}
+
+// Server is the planning service: one shared Session (cache +
+// singleflight), one worker pool, one mux.
+type Server struct {
+	cfg      Config
+	session  *run.Session
+	pool     *pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.  Close (or Running.Drain) must be
+// called to stop the worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		session: run.NewWithCacheBound(context.Background(), cfg.CacheBound),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		s.solve(w, r, "plan", s.solvePlan)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		s.solve(w, r, "simulate", s.solveSimulate)
+	})
+	mux.HandleFunc("POST /v1/selectarch", func(w http.ResponseWriter, r *http.Request) {
+		s.solve(w, r, "selectarch", s.solveSelectArch)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	// The obs debug endpoints share the daemon's listener so a
+	// deployment scrapes one port.
+	debug := obs.DefaultHandler()
+	mux.Handle("GET /metrics", debug)
+	mux.Handle("GET /metrics.json", debug)
+	mux.Handle("GET /debug/pprof/", debug)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the shared plan cache's counters.
+func (s *Server) CacheStats() run.CacheStats { return s.session.CacheStats() }
+
+// Close stops the worker pool after draining queued jobs.  It is not
+// needed when Running.Drain is used.
+func (s *Server) Close() { s.pool.close() }
+
+// Running is a listening planning server.
+type Running struct {
+	s   *Server
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr and serves s until Drain.  Like the obs debug
+// server, an address without a host (":8080") binds loopback — the
+// service is unauthenticated, so exposing it beyond the machine must
+// be an explicit choice ("0.0.0.0:8080").  Port 0 picks a free port;
+// Addr reports the bound address.
+func (s *Server) Start(addr string) (*Running, error) {
+	if addr == "" {
+		return nil, errors.New("server: empty listen address")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen address %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Log().Warn("planning server stopped", "err", err)
+		}
+	}()
+	return &Running{s: s, ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (with the real port when the request
+// asked for :0).
+func (r *Running) Addr() string { return r.ln.Addr().String() }
+
+// Drain performs the graceful shutdown sequence: flip /readyz to 503,
+// stop accepting connections, wait up to timeout for in-flight and
+// queued requests to finish, then stop the worker pool.  A nil return
+// means every accepted request completed; a non-nil return means the
+// timeout expired and remaining connections were cut.
+func (r *Running) Drain(timeout time.Duration) error {
+	r.s.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := r.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown gave up waiting; cut the stragglers so the pool's
+		// jobs see their request contexts die and the close below
+		// cannot wait on a connection that will never finish.
+		r.srv.Close()
+	}
+	r.s.pool.close()
+	return err
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testGraphText is a small diamond in the dag text format.
+const testGraphText = `graph diamond
+node 0 conv 2 a
+node 1 conv 3 b
+node 2 conv 1 c
+node 3 conv 2 d
+edge 0 1 1 0 3
+edge 0 2 1 0 3
+edge 1 3 1 0 3
+edge 2 3 1 0 2
+`
+
+// newTestServer builds a Server plus an httptest front end and
+// registers cleanup for both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends a JSON body and returns the response with its decoded
+// body bytes.
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// decodeError asserts an errorResponse body and returns it.
+func decodeError(t *testing.T, data []byte) errorResponse {
+	t.Helper()
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body %q is not JSON: %v", data, err)
+	}
+	if e.Error == "" || e.Kind == "" {
+		t.Fatalf("error body %q missing error/kind", data)
+	}
+	return e
+}
+
+func TestPlanHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/plan", map[string]any{
+		"graph": testGraphText, "arch": "neurocube", "pes": 4, "iterations": 50,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	var plan planResponse
+	if err := json.Unmarshal(data, &plan); err != nil {
+		t.Fatalf("decoding plan: %v", err)
+	}
+	if plan.Scheme != "para-conv" || plan.Period <= 0 || plan.TotalTime <= 0 {
+		t.Errorf("implausible plan: %+v", plan)
+	}
+	// The plan reports the unrolled working graph: input vertices times
+	// the concurrent-iteration count.
+	if plan.ConcurrentIterations < 1 || plan.Vertices != 4*plan.ConcurrentIterations {
+		t.Errorf("plan echoes %d vertices with %d concurrent iterations, want 4x",
+			plan.Vertices, plan.ConcurrentIterations)
+	}
+	if plan.Arch == "" {
+		t.Error("plan response missing arch name")
+	}
+}
+
+func TestPlanVariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, variant := range []string{"para-conv", "para-conv-single", "sparta", "naive"} {
+		resp, data := post(t, ts, "/v1/plan", map[string]any{
+			"graph": testGraphText, "variant": variant, "pes": 4,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("variant %s: status %d, body %s", variant, resp.StatusCode, data)
+		}
+	}
+	resp, data := post(t, ts, "/v1/plan", map[string]any{
+		"graph": testGraphText, "variant": "nope",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown variant: status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeError(t, data); e.Kind != "bad_request" {
+		t.Errorf("unknown variant kind %q, want bad_request", e.Kind)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/simulate", map[string]any{
+		"graph": testGraphText, "pes": 4, "iterations": 20,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	var sim simulateResponse
+	if err := json.Unmarshal(data, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cycles <= 0 || sim.Iterations != 20 || sim.Utilization <= 0 {
+		t.Errorf("implausible simulation: %+v", sim)
+	}
+}
+
+func TestSelectArchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/selectarch", map[string]any{
+		"graph": testGraphText, "pes": 4, "iterations": 20,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	var sel selectArchResponse
+	if err := json.Unmarshal(data, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Arch == "" || len(sel.Ranking) == 0 {
+		t.Errorf("implausible selection: %+v", sel)
+	}
+	if sel.Ranking[0].TotalTime != sel.Best.TotalTime {
+		t.Errorf("ranking[0] %+v disagrees with best %+v", sel.Ranking[0], sel.Best)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/plan", `{"graph": `)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeError(t, data); e.Kind != "bad_request" {
+		t.Errorf("kind %q, want bad_request", e.Kind)
+	}
+}
+
+func TestMalformedGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, graph := range map[string]string{
+		"empty":     "",
+		"bad-text":  "not a graph at all",
+		"bad-edge":  "graph g\nnode 0 conv 1 -\nedge 0 7 1 0 2\n",
+		"cyclejoke": "graph g\nnode 0 conv 1 -\nedge 0 0 1 0 2\n",
+	} {
+		resp, data := post(t, ts, "/v1/plan", map[string]any{"graph": graph})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, resp.StatusCode, data)
+			continue
+		}
+		if e := decodeError(t, data); e.Kind != "bad_graph" {
+			t.Errorf("%s: kind %q, want bad_graph", name, e.Kind)
+		}
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := map[string]any{"graph": strings.Repeat("# padding line\n", 200) + testGraphText}
+	resp, data := post(t, ts, "/v1/plan", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Kind != "too_large" {
+		t.Errorf("kind %q, want too_large", e.Kind)
+	}
+}
+
+func TestGraphOverVertexCapRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxGraphNodes: 2})
+	resp, data := post(t, ts, "/v1/plan", map[string]any{"graph": testGraphText})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Kind != "graph_too_large" {
+		t.Errorf("kind %q, want graph_too_large", e.Kind)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]map[string]any{
+		"negative-pes":     {"graph": testGraphText, "pes": -1},
+		"huge-pes":         {"graph": testGraphText, "pes": 100000},
+		"negative-iters":   {"graph": testGraphText, "iterations": -5},
+		"negative-timeout": {"graph": testGraphText, "timeout_ms": -1},
+		"unknown-field":    {"graph": testGraphText, "bogus": true},
+		"unknown-arch":     {"graph": testGraphText, "arch": "tpu"},
+	} {
+		resp, _ := post(t, ts, "/v1/plan", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMetricsMounted(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	for _, family := range []string{"paraconv_server_queue_capacity", "paraconv_plancache_hits_total"} {
+		if !strings.Contains(string(data), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// blockWorkers occupies every pool worker with a job that holds until
+// the returned release function is called, then waits until the
+// workers have actually dequeued them.
+func blockWorkers(t *testing.T, s *Server, workers int) (release func()) {
+	t.Helper()
+	hold := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		if !s.pool.trySubmit(func() { <-hold }) {
+			t.Fatal("could not submit blocking job")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.queued() > 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("workers never picked up the blocking jobs")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	released := false
+	return func() {
+		if !released {
+			released = true
+			close(hold)
+		}
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	release := blockWorkers(t, s, 1)
+	defer release()
+
+	resp, data := post(t, ts, "/v1/plan", map[string]any{
+		"graph": testGraphText, "timeout_ms": 25,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Kind != "timeout" {
+		t.Errorf("kind %q, want timeout", e.Kind)
+	}
+}
+
+func TestFullQueueSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := blockWorkers(t, s, 1)
+	defer release()
+	// Fill the single queue slot so the HTTP request has nowhere to go.
+	if !s.pool.trySubmit(func() {}) {
+		t.Fatal("could not fill the queue slot")
+	}
+
+	resp, data := post(t, ts, "/v1/plan", map[string]any{"graph": testGraphText})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if e := decodeError(t, data); e.Kind != "shed" {
+		t.Errorf("kind %q, want shed", e.Kind)
+	}
+
+	// After releasing the workers the service accepts again.
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := post(t, ts, "/v1/plan", map[string]any{"graph": testGraphText})
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("service never recovered after release (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentIdenticalRequests exercises the pool and the
+// cache/singleflight path under -race: a burst of identical plans
+// must all succeed and agree.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	const burst = 24
+	periods := make([]int, burst)
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			json.NewEncoder(&buf).Encode(map[string]any{"graph": testGraphText, "pes": 4})
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var plan planResponse
+			if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+				errs[i] = err
+				return
+			}
+			periods[i] = plan.Period
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if periods[i] != periods[0] {
+			t.Errorf("request %d period %d != %d", i, periods[i], periods[0])
+		}
+	}
+	st := s.CacheStats()
+	if st.Hits+st.Misses < burst {
+		t.Errorf("cache saw %d lookups, want >= %d", st.Hits+st.Misses, burst)
+	}
+	if solved := st.Misses - st.DedupHits; solved < 1 {
+		t.Errorf("counters imply %d solves", solved)
+	}
+}
+
+func TestStartAndDrain(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	running, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + running.Addr()
+
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(map[string]any{"graph": testGraphText, "pes": 4})
+	resp, err := http.Post(url+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatalf("request against Start listener: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+
+	if err := running.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("listener still accepting after Drain")
+	}
+}

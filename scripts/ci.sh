@@ -36,7 +36,7 @@ go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
 tmpdir=$(mktemp -d)
-trap 'if [[ -n "${http_pid:-}" ]]; then kill "$http_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
+trap 'for p in "${http_pid:-}" "${pd_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/benchtab" ./cmd/benchtab
 "$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
 "$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
@@ -88,5 +88,70 @@ curl -fsS "http://$addr/metrics.json" | python3 -c 'import json,sys; json.load(s
 kill "$http_pid"
 wait "$http_pid" 2>/dev/null || true
 http_pid=""
+
+echo "== paraconvd smoke"
+# The planning daemon must come up on a free port, answer /v1/plan with
+# a valid JSON plan, and drain cleanly on SIGTERM (exit 0).
+go build -o "$tmpdir/paraconvd" ./cmd/paraconvd
+"$tmpdir/paraconvd" -addr 127.0.0.1:0 2> "$tmpdir/pd.err" &
+pd_pid=$!
+pd_addr=""
+for _ in $(seq 1 100); do
+    if grep -q "listening on" "$tmpdir/pd.err"; then
+        pd_addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmpdir/pd.err" | head -n1)
+        break
+    fi
+    if ! kill -0 "$pd_pid" 2>/dev/null; then
+        echo "paraconvd exited early:" >&2
+        cat "$tmpdir/pd.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$pd_addr" ]]; then
+    echo "paraconvd never reported its address:" >&2
+    cat "$tmpdir/pd.err" >&2
+    exit 1
+fi
+python3 - > "$tmpdir/plan_body.json" <<'PYEOF'
+import json
+graph = "graph smoke\n"
+graph += "".join(f"node {i} conv {1 + i % 3} l{i}\n" for i in range(6))
+graph += "edge 0 1 1 0 3\nedge 0 2 1 0 3\nedge 1 3 1 0 3\n"
+graph += "edge 2 3 1 0 2\nedge 3 4 1 0 3\nedge 3 5 1 0 2\n"
+print(json.dumps({"graph": graph, "pes": 8, "iterations": 50}))
+PYEOF
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$tmpdir/plan_body.json" \
+    "http://$pd_addr/v1/plan" > "$tmpdir/plan_resp.json"
+python3 - "$tmpdir/plan_resp.json" <<'PYEOF'
+import json, sys
+plan = json.load(open(sys.argv[1]))
+assert plan["scheme"] == "para-conv", plan.get("scheme")
+assert plan["period"] > 0 and plan["total_time"] > 0, plan
+PYEOF
+curl -fsS "http://$pd_addr/metrics" > "$tmpdir/pd_metrics.txt"
+for family in \
+    paraconv_server_requests_total \
+    paraconv_server_queue_capacity \
+    paraconv_plancache_misses_total; do
+    if ! grep -q "^$family" "$tmpdir/pd_metrics.txt"; then
+        echo "paraconvd /metrics is missing family $family:" >&2
+        head -n 40 "$tmpdir/pd_metrics.txt" >&2
+        exit 1
+    fi
+done
+kill -TERM "$pd_pid"
+if ! wait "$pd_pid"; then
+    echo "paraconvd did not drain cleanly on SIGTERM:" >&2
+    cat "$tmpdir/pd.err" >&2
+    exit 1
+fi
+pd_pid=""
+if ! grep -q "drained cleanly" "$tmpdir/pd.err"; then
+    echo "paraconvd drain log line missing:" >&2
+    cat "$tmpdir/pd.err" >&2
+    exit 1
+fi
 
 echo "CI gate passed."
