@@ -57,6 +57,10 @@ func realMain() int {
 	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells (output is identical to -parallel 1)")
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	cacheStats := flag.Bool("cachestats", false, "print plan-cache hit/miss/eviction counters to stderr at exit")
+	benchOut := flag.String("bench-out", "", "run the hot-path perf suite and write its JSON report (BENCH_<n>.json) to this file")
+	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to compare the perf suite against (runs the suite even without -bench-out)")
+	benchGate := flag.Bool("bench-gate", false, "with -bench-compare: exit nonzero when a metric regresses more than 10%")
+	benchShort := flag.Bool("bench-short", false, "short perf measurement windows (CI smoke; numbers get noisier)")
 	obsFlags := registerObsFlags()
 	flag.Parse()
 
@@ -82,6 +86,10 @@ func realMain() int {
 				st.Hits, st.Misses, st.Evictions, st.Size, st.Bound)
 		}
 	}()
+
+	if *benchOut != "" || *benchCompare != "" {
+		return runPerfSuite(ctx, *benchOut, *benchCompare, *benchGate, *benchShort)
+	}
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -286,6 +294,53 @@ func realMain() int {
 			log.Printf("  %s", f)
 		}
 		return 1
+	}
+	return 0
+}
+
+// runPerfSuite measures the hot-path workloads, optionally persists
+// the report, optionally compares against a baseline, and optionally
+// gates on regressions — the machinery behind scripts/bench.sh.
+func runPerfSuite(ctx context.Context, outPath, comparePath string, gate, short bool) int {
+	rep, err := bench.RunPerf(ctx, short)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Print(bench.FormatPerf(rep))
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := bench.WritePerfJSON(f, rep); err != nil {
+			f.Close()
+			log.Print(err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Printf("wrote perf report to %s\n", outPath)
+	}
+	if comparePath != "" {
+		prev, err := bench.ReadPerfFile(comparePath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		deltas := bench.ComparePerf(prev, rep)
+		fmt.Printf("comparison against %s:\n", comparePath)
+		fmt.Print(bench.FormatPerfCompare(deltas))
+		if gate {
+			if err := bench.GatePerf(deltas); err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Println("bench gate: no metric regressed past the 10% tolerance")
+		}
 	}
 	return 0
 }

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/pim"
+	"repro/internal/retime"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -66,6 +68,38 @@ func TestPipelinePropertySweep(t *testing.T) {
 			if err := check.CheckSchedule(plan.Iter.PEs, plan.Iter.Period, exec, slots,
 				plan.CacheLoadUnits, cfg.TotalCacheUnits()); err != nil {
 				t.Errorf("kernel schedule: %v", err)
+			}
+
+			// Solver certification on the real competitor list: the
+			// production bitset DP must agree with the rolling-row DP,
+			// the branch-and-bound oracle and the full-table reference
+			// on this seed's allocation instance — and reconstruct the
+			// exact subset the full table would.
+			tm := plan.Iter.Timing()
+			classes, err := retime.Classify(kernel, tm)
+			if err != nil {
+				t.Fatalf("classify: %v", err)
+			}
+			items, err := core.BuildItems(kernel, classes, tm)
+			if err != nil {
+				t.Fatalf("build items: %v", err)
+			}
+			capacity := cfg.TotalCacheUnits()
+			chosen, profit := core.Knapsack(items, capacity)
+			if p := core.KnapsackProfit(items, capacity); p != profit {
+				t.Errorf("bitset DP profit %d != rolling DP %d", profit, p)
+			}
+			if p := core.BranchAndBound(items, capacity); p != profit {
+				t.Errorf("bitset DP profit %d != branch-and-bound %d", profit, p)
+			}
+			refChosen, refProfit := core.KnapsackFullTable(items, capacity)
+			if refProfit != profit {
+				t.Errorf("bitset DP profit %d != full-table %d", profit, refProfit)
+			}
+			for i := range chosen {
+				if chosen[i] != refChosen[i] {
+					t.Errorf("item %d: bitset chose %v, full table %v", i, chosen[i], refChosen[i])
+				}
 			}
 
 			claim := check.Claim{

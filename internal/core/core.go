@@ -25,7 +25,6 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/dag"
-	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
@@ -185,53 +184,27 @@ func trafficOf(e *dag.Edge) int64 {
 
 // Knapsack evaluates the §3.3.2 recurrence bottom-up and reconstructs
 // one optimal subset.  chosen[i] reports whether items[i] is cached;
-// profit is B[capacity, len(items)].  Runs in O(n·S) time and space
-// (the table is kept for backtracking, as §3.3.3 prescribes).
+// profit is B[capacity, len(items)].  The solver runs in O(n·S) time
+// but O(n·S/64 + S) space: a bitset decision matrix plus a rolling
+// profit row replace the classic full int table (see
+// knapsack_bitset.go); KnapsackFullTable keeps the textbook layout as
+// a reference oracle.
 func Knapsack(items []Item, capacity int) (chosen []bool, profit int) {
 	chosen, profit, _ = KnapsackCtx(context.Background(), items, capacity)
 	return chosen, profit
 }
 
-// KnapsackCtx is Knapsack under a context.  The O(n·S) table fill is
-// the longest uninterruptible stretch of the whole planning pipeline,
-// so the recurrence checks ctx once per item row (every S cells) and
-// abandons the solve with the context's error when cancelled.
+// KnapsackCtx is Knapsack under a context.  The table fill is the
+// longest uninterruptible stretch of the whole planning pipeline, so
+// the recurrence checks ctx once per item row (every S cells) and
+// abandons the solve with the context's error when cancelled.  The
+// DP's working memory is pooled; only the chosen slice is allocated
+// per call (use KnapsackInto to reuse that too).
 func KnapsackCtx(ctx context.Context, items []Item, capacity int) (chosen []bool, profit int, err error) {
-	n := len(items)
-	chosen = make([]bool, n)
-	if n == 0 || capacity <= 0 {
-		return chosen, 0, ctx.Err()
-	}
-	// B[m][s]: max profit using the first m items within capacity s.
-	b := make([][]int, n+1)
-	for m := range b {
-		b[m] = make([]int, capacity+1)
-	}
-	obs.SchedDPRows.Add(int64(n))
-	for m := 1; m <= n; m++ {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, fmt.Errorf("core: knapsack cancelled at item %d/%d: %w", m, n, err)
-		}
-		it := &items[m-1]
-		for s := 0; s <= capacity; s++ {
-			best := b[m-1][s]
-			if it.Size <= s {
-				if cand := b[m-1][s-it.Size] + it.DeltaR; cand > best {
-					best = cand
-				}
-			}
-			b[m][s] = best
-		}
-	}
-	profit = b[n][capacity]
-	// Backtrack: item m was taken iff its row improved on the
-	// remaining capacity.
-	s := capacity
-	for m := n; m >= 1; m-- {
-		if b[m][s] != b[m-1][s] {
-			chosen[m-1] = true
-			s -= items[m-1].Size
-		}
+	chosen = make([]bool, len(items))
+	profit, err = KnapsackInto(ctx, chosen, items, capacity)
+	if err != nil {
+		return nil, 0, err
 	}
 	return chosen, profit, nil
 }
@@ -259,36 +232,4 @@ func BruteForce(items []Item, capacity int) (int, error) {
 		}
 	}
 	return best, nil
-}
-
-// Greedy is the density-ordered heuristic baseline used in ablation
-// studies: it caches items by decreasing ΔR/size until capacity runs
-// out.  Not optimal — the benches quantify the gap to Knapsack.
-func Greedy(items []Item, capacity int) (chosen []bool, profit int) {
-	order := make([]int, len(items))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		// Density compare ΔR_a/size_a vs ΔR_b/size_b by integer
-		// cross-multiplication (sizes are >= 1): exact, and free of
-		// float rounding that could flip ties across platforms.
-		ia, ib := &items[order[a]], &items[order[b]]
-		da := ia.DeltaR * ib.Size
-		db := ib.DeltaR * ia.Size
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
-	chosen = make([]bool, len(items))
-	left := capacity
-	for _, i := range order {
-		if items[i].Size <= left {
-			chosen[i] = true
-			left -= items[i].Size
-			profit += items[i].DeltaR
-		}
-	}
-	return chosen, profit
 }

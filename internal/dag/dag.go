@@ -145,6 +145,25 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
+// Grow preallocates storage for at least nodes further vertices and
+// edges further edges, so a caller that knows the final size up front
+// (the text codec's counts header, the synthesizer) builds the graph
+// without incremental append growth.  Negative arguments are ignored.
+func (g *Graph) Grow(nodes, edges int) {
+	if nodes > 0 {
+		if free := cap(g.nodes) - len(g.nodes); free < nodes {
+			g.nodes = append(make([]Node, 0, len(g.nodes)+nodes), g.nodes...)
+			g.out = append(make([][]EdgeID, 0, len(g.out)+nodes), g.out...)
+			g.in = append(make([][]EdgeID, 0, len(g.in)+nodes), g.in...)
+		}
+	}
+	if edges > 0 {
+		if free := cap(g.edges) - len(g.edges); free < edges {
+			g.edges = append(make([]Edge, 0, len(g.edges)+edges), g.edges...)
+		}
+	}
+}
+
 // AddNode appends a vertex and returns its ID.  The ID field of the
 // argument is ignored and overwritten.
 func (g *Graph) AddNode(n Node) NodeID {
@@ -167,6 +186,54 @@ func (g *Graph) AddEdge(e Edge) EdgeID {
 	g.out[e.From] = append(g.out[e.From], e.ID)
 	g.in[e.To] = append(g.in[e.To], e.ID)
 	return e.ID
+}
+
+// AddEdges appends a batch of edges at once.  When the graph has no
+// edges yet (the codec's bulk-load case), the adjacency lists are
+// carved out of two exact-fit backing arrays sized from the batch's
+// degree counts, so the whole load costs a constant number of
+// allocations instead of one growth chain per vertex.  With edges
+// already present it degrades to a plain AddEdge loop.  Like AddEdge
+// it panics on an out-of-range endpoint and assigns IDs in order.
+func (g *Graph) AddEdges(es []Edge) {
+	if len(es) == 0 {
+		return
+	}
+	if len(g.edges) > 0 {
+		for i := range es {
+			g.AddEdge(es[i])
+		}
+		return
+	}
+	for i := range es {
+		if !g.hasNode(es[i].From) || !g.hasNode(es[i].To) {
+			panic(fmt.Sprintf("dag: AddEdges %d->%d: node out of range (|V|=%d)",
+				es[i].From, es[i].To, len(g.nodes)))
+		}
+	}
+	g.Grow(0, len(es))
+	deg := make([]int, 2*len(g.nodes))
+	outDeg, inDeg := deg[:len(g.nodes)], deg[len(g.nodes):]
+	for i := range es {
+		outDeg[es[i].From]++
+		inDeg[es[i].To]++
+	}
+	backing := make([]EdgeID, 2*len(es))
+	outB, inB := backing[:len(es)], backing[len(es):]
+	outOff, inOff := 0, 0
+	for v := range g.out {
+		g.out[v] = outB[outOff : outOff : outOff+outDeg[v]]
+		outOff += outDeg[v]
+		g.in[v] = inB[inOff : inOff : inOff+inDeg[v]]
+		inOff += inDeg[v]
+	}
+	for i := range es {
+		e := es[i]
+		e.ID = EdgeID(len(g.edges))
+		g.edges = append(g.edges, e)
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+	}
 }
 
 func (g *Graph) hasNode(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }

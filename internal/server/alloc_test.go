@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/synth"
+)
+
+// discardResponseWriter satisfies http.ResponseWriter without touching
+// the network, so the alloc gates measure only the decode path.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// resettableBody replays the same bytes as a fresh request body each
+// run without allocating a reader per run.
+type resettableBody struct{ bytes.Reader }
+
+func (b *resettableBody) Close() error { return nil }
+
+// TestAllocsDecodePath gates the request decode + graph parse path:
+// its allocation count must stay O(1) in the graph's EDGE count.  The
+// irreducible per-request spend is one string per named node (Node.Name
+// must be heap-copied out of the transient scan buffer), the request
+// struct with its graph string, the JSON decoder, the MaxBytesReader
+// wrapper, and a constant handful of graph arrays (nodes, edges, the
+// two adjacency tables and their shared backing, thanks to the
+// counts-header bulk load).  Everything else — body buffer, scanner
+// state, line tokens, numeric fields, per-vertex adjacency growth —
+// is pooled or in-place.  The budget is one alloc per node plus fixed
+// headroom; a return to per-line parsing or per-edge adjacency growth
+// (~3 allocs per edge here) blows through it immediately.
+func TestAllocsDecodePath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate runs without -race")
+	}
+	s := New(Config{})
+	defer s.Close()
+
+	g, err := synth.Generate(synth.Params{Name: "alloc", Vertices: 200, Edges: 520, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gtext strings.Builder
+	if err := dag.WriteText(&gtext, g); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]any{"graph": gtext.String(), "pes": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := &resettableBody{}
+	httpReq := httptest.NewRequest("POST", "/v1/plan", nil)
+	httpReq.Body = body
+	w := &discardResponseWriter{h: make(http.Header)}
+
+	decodeOnce := func() {
+		body.Reset(payload)
+		req, ok := s.decodeRequest(w, httpReq)
+		if !ok {
+			t.Fatal("decodeRequest rejected the request")
+		}
+		if _, err := s.parseGraph(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decodeOnce() // warm the pools
+	budget := float64(g.NumNodes() + 64)
+	allocs := testing.AllocsPerRun(30, decodeOnce)
+	if allocs > budget {
+		t.Errorf("decode+parse allocates %.0f objects per request; budget %.0f", allocs, budget)
+	}
+	t.Logf("decode+parse: %.1f allocs per request (budget %.0f)", allocs, budget)
+}
+
+// TestAllocsWriteJSON gates the response encode path: after warm-up, a
+// plan-sized response body costs only the encoder state and the JSON
+// bytes' transient scratch, not a buffer per response.
+func TestAllocsWriteJSON(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate runs without -race")
+	}
+	resp := planResponse{Scheme: "para-conv", Arch: "neurocube", PEs: 16, Period: 42,
+		CachedEdges: []int{1, 2, 3, 5, 8, 13}}
+	w := &discardResponseWriter{h: make(http.Header)}
+	writeJSON(w, http.StatusOK, resp) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		writeJSON(w, http.StatusOK, resp)
+	})
+	// json.Encoder itself allocates a handful of objects per Encode;
+	// the gate just pins that a fresh bytes.Buffer (and its growth
+	// chain) is no longer part of the bill.
+	if allocs > 12 {
+		t.Errorf("writeJSON allocates %.0f objects per response; want <= 12", allocs)
+	}
+}
+
+var _ io.ReadCloser = (*resettableBody)(nil)

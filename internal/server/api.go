@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/obs"
@@ -107,12 +110,33 @@ type errorResponse struct {
 // it, but the access metrics need the case distinguished from 5xx.
 const statusClientClosed = 499
 
-// writeJSON encodes v as the response body with the given status.
+// respBufPool recycles the response-encoding buffers writeJSON stages
+// bodies in; buffers that ballooned past maxPooledBodyBytes are
+// dropped rather than pinned.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v as the response body with the given status.  The
+// body is staged in a pooled buffer and written in one call, so an
+// encoding failure can still become a 500 (nothing has been sent yet)
+// and the connection sees a single write with a Content-Length instead
+// of the chunked drip of an encoder bound to the wire.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		obs.Log().Debug("server: encoding response", "err", err)
+		http.Error(w, `{"error":"encoding response","kind":"internal"}`, http.StatusInternalServerError)
+		respBufPool.Put(buf)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		obs.Log().Debug("server: writing response", "err", err)
+	}
+	if buf.Cap() <= maxPooledBodyBytes {
+		respBufPool.Put(buf)
 	}
 }
 
@@ -174,12 +198,22 @@ func configFor(arch string, pes int) (pim.Config, error) {
 	}
 }
 
+// graphReaderPool recycles the strings.Reader parseGraph wraps the
+// request's graph text in; readers are reset to the empty string
+// before pooling so they do not pin request bodies.
+var graphReaderPool = sync.Pool{New: func() any { return new(strings.Reader) }}
+
 // parseGraph reads the request's graph text under the server's size
 // caps.
 func (s *Server) parseGraph(req *request) (*dag.Graph, error) {
 	if strings.TrimSpace(req.Graph) == "" {
 		return nil, errors.New("request has no graph")
 	}
-	return dag.ReadTextLimits(strings.NewReader(req.Graph),
+	rd := graphReaderPool.Get().(*strings.Reader)
+	rd.Reset(req.Graph)
+	g, err := dag.ReadTextLimits(rd,
 		dag.Limits{MaxNodes: s.cfg.MaxGraphNodes, MaxEdges: s.cfg.MaxGraphEdges})
+	rd.Reset("")
+	graphReaderPool.Put(rd)
+	return g, err
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/dag"
@@ -107,20 +109,52 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, 
 	}
 }
 
+// bodyState is the per-request decode scratch recycled by
+// bodyStatePool: the body lands in buf in one read, then rd replays it
+// to the JSON decoder without another copy.  The decoded request's
+// strings are fresh allocations (encoding/json never aliases its
+// input), so the buffer is safe to recycle the moment decoding ends.
+type bodyState struct {
+	buf bytes.Buffer
+	rd  bytes.Reader
+}
+
+var bodyStatePool = sync.Pool{New: func() any { return new(bodyState) }}
+
+// maxPooledBodyBytes caps what a recycled body buffer may retain, so
+// one oversized request does not pin its high-water mark forever.
+const maxPooledBodyBytes = 1 << 20
+
+func putBodyState(bs *bodyState) {
+	if bs.buf.Cap() > maxPooledBodyBytes {
+		return
+	}
+	bs.rd.Reset(nil)
+	bodyStatePool.Put(bs)
+}
+
 // decodeRequest reads and validates the JSON body under the body-size
 // cap, normalizing defaults.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, bool) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	req := &request{}
-	if err := dec.Decode(req); err != nil {
+	bs := bodyStatePool.Get().(*bodyState)
+	defer putBodyState(bs)
+	bs.buf.Reset()
+	if _, err := bs.buf.ReadFrom(body); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
 				"request body exceeds %d bytes", tooBig.Limit)
 			return nil, false
 		}
+		writeError(w, http.StatusBadRequest, "bad_request", "reading request: %v", err)
+		return nil, false
+	}
+	bs.rd.Reset(bs.buf.Bytes())
+	dec := json.NewDecoder(&bs.rd)
+	dec.DisallowUnknownFields()
+	req := &request{}
+	if err := dec.Decode(req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
 		return nil, false
 	}

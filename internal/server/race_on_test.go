@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in.  Its
+// instrumentation allocates on its own, so AllocsPerRun gates are
+// skipped under -race.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/pim"
@@ -153,7 +154,13 @@ func traceSequential(ctx context.Context, plan *sched.Plan, cfg pim.Config, iter
 		return Stats{}, nil, fmt.Errorf("sim: sequential plan violates dependencies: %w", err)
 	}
 	p := plan.Iter.Period
-	tr := &Trace{}
+	// The event volume is exactly plan-derived: per iteration, two task
+	// events per task, two transfer events per edge, plus one
+	// iteration-done marker — so the log is allocated once, up front.
+	tr := &Trace{
+		Events: make([]Event, 0, iterations*(2*len(plan.Iter.Tasks)+2*g.NumEdges()+1)),
+		PEBusy: make([]int, plan.Iter.PEs),
+	}
 	for it := 0; it < iterations; it++ {
 		if err := ctx.Err(); err != nil {
 			return Stats{}, nil, fmt.Errorf("sim: trace cancelled at iteration %d/%d: %w", it, iterations, err)
@@ -208,7 +215,14 @@ func tracePipelined(ctx context.Context, plan *sched.Plan, cfg pim.Config, itera
 	totalRounds := r.RMax + rounds
 	tm := plan.Iter.Timing()
 
-	tr := &Trace{}
+	// Exact plan-derived event count: every task emits two events for
+	// each of the `rounds` in-horizon iterations (the prologue/epilogue
+	// rounds skip the out-of-range instances), every edge two transfer
+	// events per iteration, plus one done marker per iteration.
+	tr := &Trace{
+		Events: make([]Event, 0, rounds*(2*len(plan.Iter.Tasks)+2*g.NumEdges()+1)),
+		PEBusy: make([]int, plan.Iter.PEs),
+	}
 	// Task events: vertex v in round k serves iteration k - RMax +
 	// R(v) of its kernel slot (each kernel slot is an independent
 	// iteration stream when the kernel packs several groups/unroll
@@ -306,6 +320,12 @@ func placeTransfer(dur, finish, start, period, gap, prodRound, consRound int) (i
 	}
 }
 
+// taskStartPool recycles finalize's in-flight task map across runs.
+// The map's population peaks at the number of concurrently running
+// task instances (entries are deleted at each task end), so the
+// recycled map stays small regardless of trace length.
+var taskStartPool = sync.Pool{New: func() any { return make(map[[2]int]int, 64) }}
+
 // finalize sorts the event log and computes the resource profiles.
 func finalize(tr *Trace) {
 	sort.SliceStable(tr.Events, func(a, b int) bool {
@@ -317,7 +337,11 @@ func finalize(tr *Trace) {
 		return tr.Events[a].Kind > tr.Events[b].Kind
 	})
 	edram, live := 0, 0
-	taskStart := make(map[[2]int]int)
+	taskStart := taskStartPool.Get().(map[[2]int]int)
+	defer func() {
+		clear(taskStart)
+		taskStartPool.Put(taskStart)
+	}()
 	for _, ev := range tr.Events {
 		switch ev.Kind {
 		case EvTaskStart:

@@ -32,6 +32,21 @@ go test -race ./...
 echo "== fuzz smoke"
 go test -run='^$' -fuzz='^FuzzDAGCodecRoundTrip$' -fuzztime=10s ./internal/dag/
 go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
+go test -run='^$' -fuzz='^FuzzKnapsackEquivalence$' -fuzztime=10s ./internal/core/
+
+echo "== bench under race"
+# One short pass of the hot-loop benchmarks with the race detector on:
+# the pooled DP scratch and trace buffers must be race-free under
+# concurrent reuse.
+go test -race -run='^$' -bench='BenchmarkKnapsack' -benchtime=3x ./internal/core/
+go test -race -run='^$' -bench='BenchmarkSimRun|BenchmarkTraceRun' -benchtime=3x ./internal/sim/
+
+echo "== bench smoke"
+# Short windows, no new baseline file, no gate: this validates the
+# harness end to end (and prints the comparison against the committed
+# BENCH_*.json chain) without letting CI noise fail the build.  Run
+# scripts/bench.sh with full windows to extend the baseline chain.
+scripts/bench.sh --short --compare-only --no-gate
 
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
