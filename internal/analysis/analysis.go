@@ -89,7 +89,42 @@ func AllPasses() []Pass {
 			Doc:  "network listener or HTTP serving outside internal/obs and internal/server; all serving goes through the sanctioned trees",
 			Run:  runHTTPServe,
 		},
+		{
+			Name: "poolhygiene",
+			Doc:  "sync.Pool misuse: Get without a type assertion, Put without reset evidence, or pooled values escaping the get/put scope",
+			Run:  runPoolHygiene,
+		},
+		{
+			Name: "goroleak",
+			Doc:  "goroutines under internal/ with no context or stop channel, and goroutines spawned inside HTTP handlers",
+			Run:  runGoroLeak,
+		},
+		{
+			Name: "locksafe",
+			Doc:  "by-value copies of types containing sync or sync/atomic state, and mixed atomic/plain access to the same field",
+			Run:  runLockSafe,
+		},
+		{
+			Name: "allocinloop",
+			Doc:  "per-iteration allocation patterns (Sprintf, string concat, uncapacitated append) in hot-path package loops",
+			Run:  runAllocInLoop,
+		},
 	}
+}
+
+// EscapeGatePass is the name of the escape-analysis gate, which runs
+// the compiler rather than an AST pass (see escapes.go) but shares the
+// diagnostic and ignore-file namespace with the AST passes.
+const EscapeGatePass = "hotalloc"
+
+// knownPassName reports whether name is a registered AST pass or the
+// escape gate.
+func knownPassName(name string) bool {
+	if name == EscapeGatePass {
+		return true
+	}
+	_, ok := PassByName(name)
+	return ok
 }
 
 // PassByName returns the registered pass with the given name.
@@ -111,6 +146,13 @@ func RunPasses(m *Module, passes []Pass) []Diagnostic {
 			diags = append(diags, pass.Run(m, p)...)
 		}
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, pass and message —
+// the byte-stable order every output mode uses.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -124,7 +166,6 @@ func RunPasses(m *Module, passes []Pass) []Diagnostic {
 		}
 		return a.Msg < b.Msg
 	})
-	return diags
 }
 
 // diag builds a Diagnostic for a position inside the module.
@@ -218,7 +259,7 @@ func ParseIgnore(r io.Reader) ([]IgnoreEntry, error) {
 			entry.File, entry.Line = file, n
 		}
 		if len(fields) == 2 {
-			if _, ok := PassByName(fields[1]); !ok {
+			if !knownPassName(fields[1]) {
 				return nil, fmt.Errorf("analysis: ignore file line %d: unknown pass %q", lineNo, fields[1])
 			}
 			entry.Pass = fields[1]

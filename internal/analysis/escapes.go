@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"io"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The hotalloc gate moves the repo's zero-alloc contracts from runtime
+// (AllocsPerRun tests, which fire only on exercised paths, after the
+// regression landed) to analysis time.  Functions on the serving and
+// solving hot paths carry a `//paraconv:hotpath` directive in their doc
+// comment; the gate compiles their packages with -gcflags=-m, collects
+// the compiler's escape diagnostics inside each annotated function,
+// and diffs the result against a committed baseline
+// (.paraconv-escapes).  A new heap allocation in a hot function is a
+// build failure until the baseline is regenerated — so every
+// intentional allocation change is an explicit diff a reviewer sees.
+//
+// Messages are compared without line numbers: unrelated edits move
+// code, but "make([]int, rowLen) escapes to heap" stays textually
+// stable until the allocation itself changes.
+
+// HotpathDirective is the doc-comment line that opts a function into
+// the escape gate.
+const HotpathDirective = "//paraconv:hotpath"
+
+// HotFunc is one function annotated //paraconv:hotpath.
+type HotFunc struct {
+	// Key identifies the function in the baseline file:
+	// pkgpath.Name or pkgpath.(*Recv).Name for methods.
+	Key string
+	// PkgPath is the import path of the defining package.
+	PkgPath string
+	// File is the module-root-relative file, StartLine/EndLine the
+	// declaration's line span (both inclusive).
+	File      string
+	StartLine int
+	EndLine   int
+}
+
+// HotpathFuncs scans the module for annotated functions, sorted by Key.
+func HotpathFuncs(m *Module) []HotFunc {
+	var out []HotFunc
+	for _, p := range m.Packages {
+		for i, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				annotated := false
+				for _, c := range fn.Doc.List {
+					if strings.TrimSpace(c.Text) == HotpathDirective {
+						annotated = true
+						break
+					}
+				}
+				if !annotated {
+					continue
+				}
+				start := m.Fset.Position(fn.Pos())
+				end := m.Fset.Position(fn.End())
+				out = append(out, HotFunc{
+					Key:       p.Path + "." + funcKeyName(fn),
+					PkgPath:   p.Path,
+					File:      m.Rel(p.FileNames[i]),
+					StartLine: start.Line,
+					EndLine:   end.Line,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// funcKeyName renders Name or (Recv).Name / (*Recv).Name.
+func funcKeyName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	star := ""
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star = "*"
+		recv = se.X
+	}
+	name := "?"
+	switch r := recv.(type) {
+	case *ast.Ident:
+		name = r.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := r.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return "(" + star + name + ")." + fn.Name.Name
+}
+
+// EscapeSet maps a hot function key to the sorted multiset of escape
+// messages the compiler reported inside it.
+type EscapeSet map[string][]string
+
+// CollectEscapes compiles the packages containing the hot functions
+// with -gcflags=-m and attributes each heap-allocation diagnostic to
+// the annotated function whose line span contains it.  The go tool
+// replays compiler output from the build cache, so repeat runs are
+// cheap.
+func CollectEscapes(m *Module, hot []HotFunc) (EscapeSet, error) {
+	if len(hot) == 0 {
+		return EscapeSet{}, nil
+	}
+	pkgSet := map[string]bool{}
+	for _, h := range hot {
+		pkgSet[h.PkgPath] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Root
+	var stderr bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return attributeEscapes(hot, &stderr)
+}
+
+// attributeEscapes parses `file:line:col: message` diagnostics from
+// the compiler output, keeps the heap-allocation ones, and buckets
+// them by hot function.
+func attributeEscapes(hot []HotFunc, r io.Reader) (EscapeSet, error) {
+	set := EscapeSet{}
+	for _, h := range hot {
+		set[h.Key] = nil // every hot function appears, even if clean
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		file, lineNo, msg, ok := parseCompilerDiag(line)
+		if !ok || !isHeapAllocMsg(msg) {
+			continue
+		}
+		for i := range hot {
+			h := &hot[i]
+			if h.File == file && lineNo >= h.StartLine && lineNo <= h.EndLine {
+				set[h.Key] = append(set[h.Key], msg)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for k := range set {
+		sort.Strings(set[k])
+	}
+	return set, nil
+}
+
+// parseCompilerDiag splits "file.go:12:34: message"; the leading
+// "./" the compiler sometimes emits is stripped so paths match
+// Module.Rel output.
+func parseCompilerDiag(line string) (file string, lineNo int, msg string, ok bool) {
+	if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+		return "", 0, "", false
+	}
+	// file : line : col : msg
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, "", false
+	}
+	file = strings.TrimPrefix(line[:i+3], "./")
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return file, n, strings.TrimSpace(parts[2]), true
+}
+
+// isHeapAllocMsg keeps the -m diagnostics that mean "this allocates on
+// the heap": escapes-to-heap sites and moved-to-heap variables.
+// Inlining decisions, leaking-param facts and does-not-escape results
+// are dropped.
+func isHeapAllocMsg(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+}
+
+// ParseEscapeBaseline reads a committed baseline: one
+// "<funcKey> <message>" line per allowed allocation, '#' comments and
+// blank lines ignored.  Duplicate lines express multiple identical
+// allocations.
+func ParseEscapeBaseline(r io.Reader) (EscapeSet, error) {
+	set := EscapeSet{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, msg, ok := strings.Cut(line, " ")
+		if !ok || msg == "" {
+			return nil, fmt.Errorf("analysis: escape baseline line %d: want '<func> <message>', got %q", lineNo, line)
+		}
+		set[key] = append(set[key], strings.TrimSpace(msg))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for k := range set {
+		sort.Strings(set[k])
+	}
+	return set, nil
+}
+
+// FormatEscapeBaseline renders a set in the committed file format,
+// sorted by function then message.
+func FormatEscapeBaseline(set EscapeSet) []byte {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString("# paraconv-vet escape baseline (generated by paraconv-vet -escapes-update).\n")
+	b.WriteString("# One '<function> <compiler escape message>' line per allowed heap\n")
+	b.WriteString("# allocation in a //paraconv:hotpath function.  A hot function gaining\n")
+	b.WriteString("# an allocation not listed here fails the -escapes gate.\n")
+	for _, k := range keys {
+		for _, msg := range set[k] {
+			fmt.Fprintf(&b, "%s %s\n", k, msg)
+		}
+	}
+	return b.Bytes()
+}
+
+// DiffEscapes compares the compiler's current escapes against the
+// baseline.  Added allocations come back as hotalloc diagnostics
+// anchored at the hot function's declaration; stale baseline lines
+// (alloc no longer present, or unknown function) come back as strings
+// so the caller can fail the run the same way it fails on dead ignore
+// entries.
+func DiffEscapes(m *Module, hot []HotFunc, got, baseline EscapeSet) (added []Diagnostic, stale []string) {
+	byKey := map[string]*HotFunc{}
+	for i := range hot {
+		byKey[hot[i].Key] = &hot[i]
+	}
+	for key, msgs := range got {
+		allowed := countMsgs(baseline[key])
+		h := byKey[key]
+		for _, msg := range msgs {
+			if allowed[msg] > 0 {
+				allowed[msg]--
+				continue
+			}
+			d := Diagnostic{Pass: "hotalloc", Msg: fmt.Sprintf("%s: heap allocation not in escape baseline: %s", key, msg)}
+			if h != nil {
+				d.File, d.Line = h.File, h.StartLine
+			}
+			added = append(added, d)
+		}
+	}
+	for key, msgs := range baseline {
+		gotMsgs, known := got[key]
+		if !known {
+			stale = append(stale, fmt.Sprintf("%s (no //paraconv:hotpath function with this key)", key))
+			continue
+		}
+		have := countMsgs(gotMsgs)
+		for msg, n := range countMsgs(msgs) {
+			if extra := n - have[msg]; extra > 0 {
+				stale = append(stale, fmt.Sprintf("%s %s (%dx no longer reported)", key, msg, extra))
+			}
+		}
+	}
+	SortDiagnostics(added)
+	sort.Strings(stale)
+	return added, stale
+}
+
+func countMsgs(msgs []string) map[string]int {
+	c := make(map[string]int, len(msgs))
+	for _, m := range msgs {
+		c[m]++
+	}
+	return c
+}

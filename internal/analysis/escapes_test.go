@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// loadEscapeFixture loads the dedicated escape-gate module.
+func loadEscapeFixture(t *testing.T) *Module {
+	t.Helper()
+	m, err := Load("testdata/escape/mod")
+	if err != nil {
+		t.Fatalf("Load(testdata/escape/mod): %v", err)
+	}
+	return m
+}
+
+func TestHotpathFuncs(t *testing.T) {
+	m := loadEscapeFixture(t)
+	hot := HotpathFuncs(m)
+	var keys []string
+	for _, h := range hot {
+		keys = append(keys, h.Key)
+		if h.File != "hot.go" {
+			t.Errorf("%s: File = %q, want hot.go", h.Key, h.File)
+		}
+		if h.StartLine <= 0 || h.EndLine < h.StartLine {
+			t.Errorf("%s: bad line span [%d,%d]", h.Key, h.StartLine, h.EndLine)
+		}
+	}
+	want := []string{"escapetest.Box", "escapetest.Grow", "escapetest.Sum"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Fatalf("hot functions = %v, want %v (Cold must not appear)", keys, want)
+	}
+}
+
+func TestFuncKeyNameMethods(t *testing.T) {
+	// Methods on the real module exercise the receiver rendering; pick
+	// them out of this repository's own tree via the fixture-free path.
+	m := loadTestdata(t)
+	for _, h := range HotpathFuncs(m) {
+		t.Errorf("testdata/mod should contain no hotpath directives, found %s", h.Key)
+	}
+}
+
+// requireGoTool skips when the go command is unavailable (the AST
+// passes never need it; only the escape gate shells out).
+func requireGoTool(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH; skipping escape-gate compile test")
+	}
+}
+
+// TestEscapeGateFixture runs the full gate against the fixture module:
+// the committed baseline must be accepted exactly, a missing baseline
+// entry must surface as a hotalloc finding, and an extra one as stale.
+func TestEscapeGateFixture(t *testing.T) {
+	requireGoTool(t)
+	m := loadEscapeFixture(t)
+	hot := HotpathFuncs(m)
+	got, err := CollectEscapes(m, hot)
+	if err != nil {
+		t.Fatalf("CollectEscapes: %v", err)
+	}
+	if n := len(got["escapetest.Sum"]); n != 0 {
+		t.Errorf("Sum reported %d escapes, want 0: %v", n, got["escapetest.Sum"])
+	}
+	if msgs := got["escapetest.Box"]; len(msgs) != 1 || msgs[0] != "moved to heap: v" {
+		t.Errorf("Box escapes = %v, want [moved to heap: v]", msgs)
+	}
+
+	data, err := os.ReadFile("testdata/escape/baseline")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	baseline, err := ParseEscapeBaseline(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("ParseEscapeBaseline: %v", err)
+	}
+
+	// The committed baseline matches the current compiler output.
+	added, stale := DiffEscapes(m, hot, got, baseline)
+	if len(added) != 0 || len(stale) != 0 {
+		t.Fatalf("committed baseline out of date: added=%v stale=%v\nregenerate with paraconv-vet -escapes -escapes-update -escapes-baseline", added, stale)
+	}
+
+	// An empty baseline turns every current escape into a finding,
+	// attributed to the right file and declaration line.
+	added, stale = DiffEscapes(m, hot, got, EscapeSet{})
+	if len(stale) != 0 {
+		t.Errorf("empty baseline reported stale entries: %v", stale)
+	}
+	if len(added) != 2 {
+		t.Fatalf("empty baseline: %d findings, want 2 (Box, Grow): %v", len(added), added)
+	}
+	for _, d := range added {
+		if d.Pass != EscapeGatePass || d.File != "hot.go" || d.Line <= 0 {
+			t.Errorf("finding %+v: want pass %s in hot.go with a line", d, EscapeGatePass)
+		}
+	}
+
+	// A baseline entry the compiler no longer reports is stale, as is
+	// one naming an unknown function.
+	extra, err := ParseEscapeBaseline(strings.NewReader(string(data) +
+		"escapetest.Sum make([]bogus) escapes to heap\n" +
+		"escapetest.Gone moved to heap: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, stale = DiffEscapes(m, hot, got, extra)
+	if len(added) != 0 {
+		t.Errorf("padded baseline produced findings: %v", added)
+	}
+	if len(stale) != 2 {
+		t.Errorf("padded baseline: %d stale entries, want 2: %v", len(stale), stale)
+	}
+}
+
+func TestParseCompilerDiag(t *testing.T) {
+	tests := []struct {
+		line   string
+		file   string
+		lineNo int
+		msg    string
+		ok     bool
+	}{
+		{"./hot.go:21:9: moved to heap: v", "hot.go", 21, "moved to heap: v", true},
+		{"internal/dag/codec.go:100:12: make([]Edge, 0, want) escapes to heap", "internal/dag/codec.go", 100, "make([]Edge, 0, want) escapes to heap", true},
+		{"# escapetest", "", 0, "", false},
+		{"", "", 0, "", false},
+		{"hot.go:xx:1: nope", "", 0, "", false},
+		{"no diagnostics here", "", 0, "", false},
+	}
+	for _, tc := range tests {
+		file, lineNo, msg, ok := parseCompilerDiag(tc.line)
+		if ok != tc.ok || file != tc.file || lineNo != tc.lineNo || msg != tc.msg {
+			t.Errorf("parseCompilerDiag(%q) = (%q,%d,%q,%v), want (%q,%d,%q,%v)",
+				tc.line, file, lineNo, msg, ok, tc.file, tc.lineNo, tc.msg, tc.ok)
+		}
+	}
+}
+
+func TestIsHeapAllocMsg(t *testing.T) {
+	yes := []string{"moved to heap: v", "make([]int, n) escapes to heap", "&v{...} escapes to heap"}
+	no := []string{"can inline Sum", "leaking param: xs", "make([]int, n) does not escape", "inlining call to Sum"}
+	for _, m := range yes {
+		if !isHeapAllocMsg(m) {
+			t.Errorf("isHeapAllocMsg(%q) = false, want true", m)
+		}
+	}
+	for _, m := range no {
+		if isHeapAllocMsg(m) {
+			t.Errorf("isHeapAllocMsg(%q) = true, want false", m)
+		}
+	}
+}
+
+// TestAttributeEscapes feeds canned compiler output through the parser
+// with no toolchain involved.
+func TestAttributeEscapes(t *testing.T) {
+	hot := []HotFunc{
+		{Key: "p.A", File: "a.go", StartLine: 10, EndLine: 20},
+		{Key: "p.B", File: "a.go", StartLine: 30, EndLine: 40},
+	}
+	out := strings.Join([]string{
+		"# p",
+		"./a.go:12:5: make([]int, n) escapes to heap", // inside A
+		"./a.go:15:5: can inline helper",              // not a heap message
+		"./a.go:35:5: moved to heap: v",               // inside B
+		"./a.go:50:5: moved to heap: w",               // outside both
+		"./b.go:12:5: moved to heap: q",               // wrong file
+	}, "\n")
+	set, err := attributeEscapes(hot, strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set["p.A"]) != 1 || set["p.A"][0] != "make([]int, n) escapes to heap" {
+		t.Errorf("p.A = %v", set["p.A"])
+	}
+	if len(set["p.B"]) != 1 || set["p.B"][0] != "moved to heap: v" {
+		t.Errorf("p.B = %v", set["p.B"])
+	}
+}
+
+func TestEscapeBaselineRoundTrip(t *testing.T) {
+	set := EscapeSet{
+		"p.B": {"moved to heap: v", "moved to heap: v", "make([]int, n) escapes to heap"},
+		"p.A": {"x escapes to heap"},
+	}
+	parsed, err := ParseEscapeBaseline(strings.NewReader(string(FormatEscapeBaseline(set))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || len(parsed["p.B"]) != 3 || len(parsed["p.A"]) != 1 {
+		t.Fatalf("round trip = %v, want %v", parsed, set)
+	}
+	// Duplicates survive as a multiset.
+	if n := countMsgs(parsed["p.B"])["moved to heap: v"]; n != 2 {
+		t.Errorf("duplicate count = %d, want 2", n)
+	}
+	if _, err := ParseEscapeBaseline(strings.NewReader("justafunctionkey\n")); err == nil {
+		t.Error("ParseEscapeBaseline accepted a line with no message")
+	}
+}

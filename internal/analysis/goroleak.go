@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runGoroLeak flags goroutines in internal/ packages that carry no way
+// to be stopped, and any goroutine spawned directly from an HTTP
+// handler.
+//
+// A goroutine counts as stoppable when the code it runs — the literal
+// body, or the body of a same-package function or method it calls —
+// references a context.Context or any channel-typed value (receives,
+// sends, range loops and closes all qualify: a worker draining a
+// work channel terminates when the channel is closed).  Everything
+// else is a goroutine the daemon's drain sequence cannot reach; the
+// serving stack's graceful shutdown depends on there being none.
+//
+// Inside handler-shaped functions (w http.ResponseWriter, r
+// *http.Request) a bare `go` is flagged regardless: per-request
+// goroutines multiply with request rate, so concurrency there must go
+// through the bounded worker pool.
+func runGoroLeak(m *Module, p *Package) []Diagnostic {
+	if !strings.Contains(p.Path, "/internal/") {
+		return nil
+	}
+	decls := funcDecls(p)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		inspectStack(f, func(stack []ast.Node, n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if inHandler(p, stack) {
+				diags = append(diags, diag(m, "goroleak", gs.Pos(),
+					"goroutine spawned inside an HTTP handler; per-request work must go through the bounded worker pool"))
+				return true
+			}
+			if goroutineStoppable(p, decls, gs) {
+				return true
+			}
+			diags = append(diags, diag(m, "goroleak", gs.Pos(),
+				"goroutine captures no context.Context and no stop/done channel; it cannot be cancelled or drained"))
+			return true
+		})
+	}
+	return diags
+}
+
+// inHandler reports whether the stack passes through a function (decl
+// or literal) with the (http.ResponseWriter, *http.Request) signature.
+func inHandler(p *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if isHandlerType(p, ft) {
+			return true
+		}
+		// Only the innermost enclosing function decides: a closure
+		// inside a handler that is itself not handler-shaped is the
+		// worker-pool job shape and is judged by the stoppable rule.
+		return false
+	}
+	return false
+}
+
+// isHandlerType matches func(http.ResponseWriter, *http.Request).
+func isHandlerType(p *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) != 2 {
+		return false
+	}
+	return isNamedType(p, ft.Params.List[0].Type, "net/http", "ResponseWriter") &&
+		isPtrToNamedType(p, ft.Params.List[1].Type, "net/http", "Request")
+}
+
+func isNamedType(p *Package, e ast.Expr, pkgPath, name string) bool {
+	if p.Info != nil {
+		if t := p.Info.TypeOf(e); t != nil {
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+			}
+		}
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	last := pkgPath
+	if i := lastSlash(pkgPath); i >= 0 {
+		last = pkgPath[i+1:]
+	}
+	return ok && id.Name == last && sel.Sel.Name == name
+}
+
+func isPtrToNamedType(p *Package, e ast.Expr, pkgPath, name string) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	return isNamedType(p, star.X, pkgPath, name)
+}
+
+// goroutineStoppable reports whether the go statement's code can
+// observe a stop signal.
+func goroutineStoppable(p *Package, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	// The call's arguments are part of the goroutine's environment.
+	for _, arg := range gs.Call.Args {
+		if exprHasSignal(p, arg) {
+			return true
+		}
+	}
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return nodeHasSignal(p, fun.Body)
+	case *ast.Ident, *ast.SelectorExpr:
+		var callee types.Object
+		switch f := fun.(type) {
+		case *ast.Ident:
+			callee = objOf(p, f)
+		case *ast.SelectorExpr:
+			callee = objOf(p, f.Sel)
+			// A method expression's receiver may itself carry the
+			// signal (go s.loop where s holds nothing is still checked
+			// via the body below).
+			if exprHasSignal(p, f.X) {
+				return true
+			}
+		}
+		if callee != nil {
+			if decl, ok := decls[callee]; ok {
+				return nodeHasSignal(p, decl.Body)
+			}
+		}
+	}
+	return false
+}
+
+// nodeHasSignal reports whether any expression under n is a
+// context.Context or has a channel type.
+func nodeHasSignal(p *Package, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok && exprHasSignal(p, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprHasSignal reports whether e's type is context.Context or a
+// channel.
+func exprHasSignal(p *Package, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonReport is the machine-readable output schema.  The version field
+// lets CI consumers detect format changes; findings reuse the
+// Diagnostic fields with stable lowercase keys and arrive pre-sorted
+// by (file, line, pass, message), so the byte output is deterministic
+// for a given tree.
+type jsonReport struct {
+	Version  int           `json:"paraconv_vet"`
+	Module   string        `json:"module"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders the findings as one indented JSON document.  A nil
+// or empty slice produces "findings": [] rather than null, so
+// consumers can always range over the array.
+func WriteJSON(w io.Writer, modulePath string, diags []Diagnostic) error {
+	rep := jsonReport{
+		Version:  1,
+		Module:   modulePath,
+		Findings: make([]jsonFinding, 0, len(diags)),
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: d.File, Line: d.Line, Pass: d.Pass, Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "a.go", Line: 3, Pass: "libpanic", Msg: "panic in library function F"},
+		{File: "b.go", Line: 9, Pass: "goroleak", Msg: "goroutine captures no stop signal"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "repro", diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version  int    `json:"paraconv_vet"`
+		Module   string `json:"module"`
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Pass    string `json:"pass"`
+			Message string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Version != 1 || rep.Module != "repro" {
+		t.Errorf("header = (%d, %q), want (1, repro)", rep.Version, rep.Module)
+	}
+	if len(rep.Findings) != 2 || rep.Findings[0].File != "a.go" || rep.Findings[1].Pass != "goroleak" {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+
+	// Byte-identical output for identical input.
+	var again bytes.Buffer
+	if err := WriteJSON(&again, "repro", diags); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteJSON output is not deterministic")
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "repro", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty findings must encode as [], got:\n%s", buf.String())
+	}
+}

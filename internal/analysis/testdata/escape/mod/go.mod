@@ -1,0 +1,3 @@
+module escapetest
+
+go 1.22

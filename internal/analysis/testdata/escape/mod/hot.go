@@ -1,0 +1,36 @@
+// Package escapetest is the fixture for the hotalloc escape gate: a
+// clean hot function, two that allocate, and an unannotated function
+// whose allocations must not be attributed to anyone.
+package escapetest
+
+// Sum is allocation-free; its baseline entry set is empty.
+//
+//paraconv:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Box forces its parameter to the heap; the baseline allows exactly
+// that move.
+//
+//paraconv:hotpath
+func Box(v int) *int {
+	return &v
+}
+
+// Grow returns a fresh slice; the make escapes through the return.
+//
+//paraconv:hotpath
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Cold allocates too, but carries no directive, so the gate never
+// sees it.
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,98 @@
+// hotloop.go exercises the allocinloop pass: core is one of the
+// hot-path packages, so per-iteration allocation patterns inside its
+// loops are flagged.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Labels formats inside the loop; flagged even though the slice itself
+// is preallocated.
+func Labels(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("T%d", i)) // want allocinloop
+	}
+	return out
+}
+
+// LabelsFast builds the same strings with strconv; allowed.
+func LabelsFast(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, "T"+strconv.Itoa(i))
+	}
+	return out
+}
+
+// CheckNonNegative formats only on the way out of the loop — an
+// error constructed at most once per call is not a per-iteration cost.
+func CheckNonNegative(vals []int) error {
+	for i, v := range vals {
+		if v < 0 {
+			return fmt.Errorf("core: negative value %d at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Defects formats only on the defect branch and appends conditionally;
+// neither is a per-iteration cost, so nothing is flagged.
+func Defects(vals []int) []string {
+	var out []string
+	for i, v := range vals {
+		if v < 0 {
+			out = append(out, fmt.Sprintf("core: bad value %d at %d", v, i))
+		}
+	}
+	return out
+}
+
+// Join accumulates into a string; every iteration reallocates the
+// whole prefix.
+func Join(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want allocinloop
+	}
+	return s
+}
+
+// JoinRebind spells the same accumulation as s = s + p; flagged too.
+func JoinRebind(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p // want allocinloop
+	}
+	return s
+}
+
+// JoinBuilder uses strings.Builder; allowed.
+func JoinBuilder(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// Doubles grows an uncapacitated slice one element at a time.
+func Doubles(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v*2) // want allocinloop
+	}
+	return out
+}
+
+// DoublesPrealloc sizes the slice up front; allowed.
+func DoublesPrealloc(vals []int) []int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v*2)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package pool exercises the poolhygiene pass: Get-without-assertion,
+// Put-without-reset, and pooled values escaping past their Put.
+package pool
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Untyped uses the Get result through the raw any; flagged.
+func Untyped() int {
+	v := bufPool.Get() // want poolhygiene
+	b := v.(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	return b.Len()
+}
+
+// Render follows the full discipline: assert, reset, put; allowed.
+func Render(parts []string) string {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	s := b.String()
+	bufPool.Put(b)
+	return s
+}
+
+// StalePut returns the value to the pool still carrying this call's
+// contents; the next Get sees them.
+func StalePut(p string) int {
+	b := bufPool.Get().(*bytes.Buffer)
+	n, _ := b.WriteString(p)
+	bufPool.Put(b) // want poolhygiene
+	return n
+}
+
+// Leak both Puts the buffer and returns it, so the caller and the
+// pool share one object.
+func Leak() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	bufPool.Put(b)
+	return b // want poolhygiene
+}
+
+// holder keeps a reference past the function.
+type holder struct {
+	buf *bytes.Buffer
+}
+
+// Stash stores the pooled buffer into a field while also Putting it;
+// the stored reference outlives the Put.
+func Stash(h *holder) {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	h.buf = b // want poolhygiene
+	bufPool.Put(b)
+}
+
+// Acquire hands ownership to the caller and never Puts; the matching
+// Release is where the value re-enters the pool.  Allowed.
+func Acquire() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// Release resets on the way back in; allowed.
+func Release(b *bytes.Buffer) {
+	b.Reset()
+	bufPool.Put(b)
+}

@@ -16,7 +16,7 @@ func Raw() (net.Listener, error) {
 
 // Quick uses the package-level serving helpers.
 func Quick(handler http.Handler) error {
-	go http.ListenAndServe(":8080", handler) // want httpserve
+	go http.ListenAndServe(":8080", handler) // want httpserve goroleak
 	ln, err := Raw()
 	if err != nil {
 		return err

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks the tree like ast.Inspect but hands the visitor
+// the ancestor stack as well (outermost first, not including n).  The
+// pool, loop and handler passes all need to answer "what statement or
+// loop encloses this expression", which plain ast.Inspect cannot.
+func inspectStack(root ast.Node, visit func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(stack, n)
+		stack = append(stack, n)
+		if !descend {
+			// ast.Inspect still sends the nil pop for this node only
+			// if we return true; returning false means no pop comes,
+			// so unwind ourselves.
+			stack = stack[:len(stack)-1]
+		}
+		return descend
+	})
+}
+
+// funcDecls indexes a package's function declarations by their
+// types.Object so method and function calls can be resolved back to
+// their bodies.
+func funcDecls(p *Package) map[types.Object]*ast.FuncDecl {
+	idx := make(map[types.Object]*ast.FuncDecl)
+	if p.Info == nil {
+		return idx
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := p.Info.Defs[fn.Name]; obj != nil {
+				idx[obj] = fn
+			}
+		}
+	}
+	return idx
+}
+
+// baseIdent walks selector / index / star / paren chains down to the
+// root identifier, or nil when the expression is not rooted in one
+// (e.g. a call result).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its types.Object (use or def).
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// isPkgFunc reports whether the call's callee resolves to the named
+// function of the named package (e.g. "fmt", "Sprintf").
+func isPkgFunc(p *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+			return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+		}
+	}
+	// Syntactic fallback when type checking could not resolve the
+	// callee: match "<lastPathElem>.<name>".
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	last := pkgPath
+	if i := lastSlash(pkgPath); i >= 0 {
+		last = pkgPath[i+1:]
+	}
+	return id.Name == last && sel.Sel.Name == name
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -55,7 +55,7 @@ func BuildItems(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing) ([]I
 	if err := tm.Validate(g.NumNodes()); err != nil {
 		return nil, err
 	}
-	var items []Item
+	items := make([]Item, 0, len(classes))
 	for i := range classes {
 		c := &classes[i]
 		if c.DeltaR() <= 0 {

@@ -60,6 +60,8 @@ type keptItem struct {
 var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
 
 // ensure sizes the scratch slices, reusing capacity across solves.
+//
+//paraconv:hotpath
 func (sc *dpScratch) ensure(rowLen, bitWords int) {
 	if cap(sc.row) < rowLen {
 		sc.row = make([]int, rowLen)
@@ -76,6 +78,8 @@ func (sc *dpScratch) ensure(rowLen, bitWords int) {
 // All internal state comes from a pool, so steady-state solves
 // allocate nothing — the serving daemon's cold path and the bench
 // runner both lean on this.
+//
+//paraconv:hotpath
 func KnapsackInto(ctx context.Context, chosen []bool, items []Item, capacity int) (profit int, err error) {
 	if len(chosen) != len(items) {
 		return 0, fmt.Errorf("core: chosen holds %d entries; want %d", len(chosen), len(items))

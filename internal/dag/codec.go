@@ -158,6 +158,8 @@ func atoiBytes(b []byte) (int, bool) {
 // ReadText parses the package text format with no size caps.  The
 // returned graph is validated; any structural defect is reported as
 // an error.
+//
+//paraconv:hotpath
 func ReadText(r io.Reader) (*Graph, error) {
 	return ReadTextLimits(r, Limits{})
 }
@@ -168,6 +170,8 @@ var edgeBatchPool = sync.Pool{New: func() any { return new([]Edge) }}
 
 // ReadTextLimits is ReadText with caps on the declared graph size;
 // crossing a cap aborts the parse with a *LimitError.
+//
+//paraconv:hotpath
 func ReadTextLimits(r io.Reader, lim Limits) (*Graph, error) {
 	bufp := scanBufPool.Get().(*[]byte)
 	defer scanBufPool.Put(bufp)

@@ -149,6 +149,8 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // edges further edges, so a caller that knows the final size up front
 // (the text codec's counts header, the synthesizer) builds the graph
 // without incremental append growth.  Negative arguments are ignored.
+//
+//paraconv:hotpath
 func (g *Graph) Grow(nodes, edges int) {
 	if nodes > 0 {
 		if free := cap(g.nodes) - len(g.nodes); free < nodes {
@@ -195,6 +197,8 @@ func (g *Graph) AddEdge(e Edge) EdgeID {
 // allocations instead of one growth chain per vertex.  With edges
 // already present it degrades to a plain AddEdge loop.  Like AddEdge
 // it panics on an out-of-range endpoint and assigns IDs in order.
+//
+//paraconv:hotpath
 func (g *Graph) AddEdges(es []Edge) {
 	if len(es) == 0 {
 		return

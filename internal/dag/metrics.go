@@ -102,7 +102,7 @@ func (g *Graph) TransitiveReduction() (*Graph, error) {
 		redundant := make(map[NodeID]bool)
 		// DFS from each direct successor; any other direct target
 		// reached transitively is redundant.
-		var stack []NodeID
+		stack := make([]NodeID, 0, len(direct))
 		visited := make(map[NodeID]bool)
 		for _, eid := range direct {
 			mid := g.Edge(eid).To

@@ -38,7 +38,7 @@ func WriteScheduleCSV(w io.Writer, s *IterationSchedule) error {
 			place = s.Assignment[i].String()
 		}
 		rec := []string{
-			"ipr", strconv.Itoa(i), fmt.Sprintf("I(%d,%d)", e.From, e.To),
+			"ipr", strconv.Itoa(i), "I(" + strconv.Itoa(int(e.From)) + "," + strconv.Itoa(int(e.To)) + ")",
 			"", "", "", place,
 		}
 		if err := cw.Write(rec); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dag"
@@ -40,7 +41,7 @@ func WriteGantt(w io.Writer, s *IterationSchedule) error {
 			cells[c] = "."
 		}
 		for _, t := range tasks {
-			label := fmt.Sprintf("T%d", t.Node+1)
+			label := "T" + strconv.Itoa(int(t.Node)+1)
 			if len(label) > colWidth-1 {
 				label = "#"
 			}

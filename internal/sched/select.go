@@ -38,7 +38,7 @@ func SelectConfigCtx(ctx context.Context, g *dag.Graph, candidates []pim.Config,
 	if iterations < 1 {
 		return Candidate{}, nil, fmt.Errorf("sched: SelectConfig with %d iterations; want >= 1", iterations)
 	}
-	var ranked []Candidate
+	ranked := make([]Candidate, 0, len(candidates))
 	var firstErr error
 	for _, cfg := range candidates {
 		if err := ctx.Err(); err != nil {

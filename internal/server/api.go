@@ -120,6 +120,8 @@ var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // encoding failure can still become a 500 (nothing has been sent yet)
 // and the connection sees a single write with a Content-Length instead
 // of the chunked drip of an encoder bound to the wire.
+//
+//paraconv:hotpath
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	buf := respBufPool.Get().(*bytes.Buffer)
 	buf.Reset()

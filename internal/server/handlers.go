@@ -135,6 +135,8 @@ func putBodyState(bs *bodyState) {
 
 // decodeRequest reads and validates the JSON body under the body-size
 // cap, normalizing defaults.
+//
+//paraconv:hotpath
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, bool) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	bs := bodyStatePool.Get().(*bodyState)

@@ -109,6 +109,8 @@ func (tr *Trace) BusySpread() int {
 //
 // The event volume is proportional to iterations x (|V|+|E|), so use
 // modest iteration counts (the steady state repeats exactly).
+//
+//paraconv:hotpath
 func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	return TraceRunCtx(context.Background(), plan, cfg, iterations)
 }
@@ -117,6 +119,8 @@ func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, 
 // ctx at round (pipelined) and iteration (sequential) boundaries and
 // return the context's error when cancelled, discarding the partial
 // trace.
+//
+//paraconv:hotpath
 func TraceRunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	if err := ctx.Err(); err != nil {
 		return Stats{}, nil, fmt.Errorf("sim: %w", err)
@@ -148,6 +152,8 @@ func TraceRunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iteratio
 
 // traceSequential replays back-to-back iterations of a dependency-
 // complete schedule.
+//
+//paraconv:hotpath
 func traceSequential(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	g := plan.Iter.Graph
 	if err := plan.Iter.CheckDependencies(); err != nil {
@@ -199,6 +205,8 @@ func traceSequential(ctx context.Context, plan *sched.Plan, cfg pim.Config, iter
 // iterations.  The instance of vertex v serving logical iteration ℓ
 // runs in round ℓ + RMax - R(v); transfers are placed inside the
 // windows the Theorem 3.1 discipline guarantees.
+//
+//paraconv:hotpath
 func tracePipelined(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
 	g := plan.Iter.Graph
 	r := plan.Retiming
