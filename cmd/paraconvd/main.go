@@ -10,7 +10,9 @@
 //	          [-loglevel LEVEL] [-metrics]
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, POST /v1/selectarch
-// (JSON bodies; see DESIGN.md "Serving layer"), GET /healthz,
+// (JSON by default, or the binary wire format negotiated per request
+// via Content-Type/Accept with application/x-paraconv-bin; errors are
+// always JSON — see DESIGN.md "Wire format"), GET /healthz,
 // GET /readyz, and the obs debug endpoints /metrics, /metrics.json
 // and /debug/pprof/ on the same listener.
 //

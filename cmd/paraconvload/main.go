@@ -8,14 +8,19 @@
 //
 //	paraconvload [-addr HOST:PORT] [-workers N] [-duration D] [-n N]
 //	             [-endpoint plan|simulate|selectarch] [-variant V]
+//	             [-codec json|binary|mixed]
 //	             [-pes N] [-iters N] [-timeout-ms N] [-seed N]
 //
 // The graph mix comes from internal/synth: three deterministic size
 // classes (small/medium/large layered DAGs, three seeds each), chosen
-// per request by each worker's seeded generator.  Every request is
-// accounted for exactly once — by HTTP status or as a transport
-// error — and the report shows throughput, p50/p90/p99/max latency
-// and the shed (429) rate.
+// per request by each worker's seeded generator.  -codec selects the
+// wire codec: json sends JSON envelopes with text graphs, binary sends
+// application/x-paraconv-bin frames (and asks for binary responses),
+// and mixed alternates per request.  Every request is accounted for
+// exactly once — by HTTP status (including 415s from a server that
+// does not speak the requested codec) or as a transport error — and
+// the report shows throughput, per-codec byte rates (MB/s in + out),
+// p50/p90/p99/max latency and the shed (429) rate.
 package main
 
 import (
@@ -35,17 +40,22 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
-// requestBody mirrors the server's request schema (the server rejects
-// unknown fields, so this must stay in sync with internal/server).
-type requestBody struct {
-	Graph      string `json:"graph"`
-	Arch       string `json:"arch"`
-	PEs        int    `json:"pes"`
-	Iterations int    `json:"iterations"`
-	Variant    string `json:"variant,omitempty"`
-	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+// codecJSON/codecBinary index the per-codec tallies.
+const (
+	codecJSON = iota
+	codecBinary
+	numCodecs
+)
+
+var codecNames = [numCodecs]string{"json", "binary"}
+
+// prepared is one pre-serialized request body with its codec.
+type prepared struct {
+	body  []byte
+	codec int
 }
 
 // sizeClass is one entry of the graph mix.
@@ -61,11 +71,19 @@ var sizeClasses = []sizeClass{
 	{"large", 120, 320},
 }
 
+// codecTally is one codec's byte and request accounting.
+type codecTally struct {
+	requests int
+	bytesOut int64 // request bodies sent
+	bytesIn  int64 // response bodies received
+}
+
 // workerResult is one worker's private tally, merged after the run.
 type workerResult struct {
-	latencies []time.Duration // one entry per completed HTTP exchange
-	status    map[int]int     // responses by status code
-	transport int             // requests that died before a status
+	latencies []time.Duration       // one entry per completed HTTP exchange
+	status    map[int]int           // responses by status code
+	transport int                   // requests that died before a status
+	codec     [numCodecs]codecTally // per-codec bytes for completed exchanges
 }
 
 func main() {
@@ -77,6 +95,7 @@ func main() {
 	total := flag.Int("n", 0, "total request budget (0 = run for -duration)")
 	endpoint := flag.String("endpoint", "plan", "endpoint to drive: plan, simulate or selectarch")
 	variant := flag.String("variant", "", "planner variant to request (empty = server default)")
+	codec := flag.String("codec", "json", "request/response codec: json, binary or mixed")
 	pes := flag.Int("pes", 16, "processing engines per request")
 	iters := flag.Int("iters", 100, "iterations per request")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request solve deadline to send (0 = server default)")
@@ -88,15 +107,20 @@ func main() {
 	default:
 		log.Fatalf("unknown endpoint %q (want plan, simulate or selectarch)", *endpoint)
 	}
+	switch *codec {
+	case "json", "binary", "mixed":
+	default:
+		log.Fatalf("unknown codec %q (want json, binary or mixed)", *codec)
+	}
 	if *workers < 1 {
 		log.Fatal("-workers must be >= 1")
 	}
 
-	bodies, names, err := buildBodies(*seed, *pes, *iters, *variant, *timeoutMS)
+	reqs, names, err := buildBodies(*seed, *pes, *iters, *variant, *timeoutMS, *codec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mix: %s\n", strings.Join(names, ", "))
+	fmt.Printf("mix: %s (codec %s)\n", strings.Join(names, ", "), *codec)
 
 	url := fmt.Sprintf("http://%s/v1/%s", *addr, *endpoint)
 	client := &http.Client{
@@ -135,17 +159,32 @@ func main() {
 				} else if !time.Now().Before(deadline) {
 					return
 				}
-				body := bodies[rng.Intn(len(bodies))]
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				pr := reqs[rng.Intn(len(reqs))]
+				httpReq, err := http.NewRequest("POST", url, bytes.NewReader(pr.body))
 				if err != nil {
 					res.transport++
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				if pr.codec == codecBinary {
+					httpReq.Header.Set("Content-Type", wire.ContentTypeBinary)
+					httpReq.Header.Set("Accept", wire.ContentTypeBinary)
+				} else {
+					httpReq.Header.Set("Content-Type", wire.ContentTypeJSON)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(httpReq)
+				if err != nil {
+					res.transport++
+					continue
+				}
+				read, _ := io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				res.latencies = append(res.latencies, time.Since(t0))
 				res.status[resp.StatusCode]++
+				tally := &res.codec[pr.codec]
+				tally.requests++
+				tally.bytesOut += int64(len(pr.body))
+				tally.bytesIn += read
 			}
 		}(*seed+int64(i)*7919, share)
 	}
@@ -155,10 +194,12 @@ func main() {
 	report(os.Stdout, results, elapsed)
 }
 
-// buildBodies pre-serializes one request body per (size class, seed)
-// cell so the hot loop never touches the generator.
-func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int) ([][]byte, []string, error) {
-	var bodies [][]byte
+// buildBodies pre-serializes one request body per (size class, seed,
+// codec) cell so the hot loop never touches the generator or either
+// encoder.  With -codec mixed, each graph appears once per codec and
+// the worker's uniform pick over the pool alternates codecs.
+func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int, codec string) ([]prepared, []string, error) {
+	var reqs []prepared
 	var names []string
 	for _, sc := range sizeClasses {
 		for s := int64(0); s < 3; s++ {
@@ -171,26 +212,38 @@ func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int) ([][
 			if err != nil {
 				return nil, nil, fmt.Errorf("generating %s graph: %w", sc.name, err)
 			}
-			var text bytes.Buffer
-			if err := dag.WriteText(&text, g); err != nil {
-				return nil, nil, err
+			if codec == "json" || codec == "mixed" {
+				var text bytes.Buffer
+				if err := dag.WriteText(&text, g); err != nil {
+					return nil, nil, err
+				}
+				body, err := json.Marshal(wire.Request{
+					Graph:      text.String(),
+					Arch:       "neurocube",
+					PEs:        pes,
+					Iterations: iters,
+					Variant:    variant,
+					TimeoutMS:  timeoutMS,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				reqs = append(reqs, prepared{body: body, codec: codecJSON})
 			}
-			body, err := json.Marshal(requestBody{
-				Graph:      text.String(),
-				Arch:       "neurocube",
-				PEs:        pes,
-				Iterations: iters,
-				Variant:    variant,
-				TimeoutMS:  timeoutMS,
-			})
-			if err != nil {
-				return nil, nil, err
+			if codec == "binary" || codec == "mixed" {
+				body := wire.AppendRequest(nil, &wire.Request{
+					Arch:       "neurocube",
+					PEs:        pes,
+					Iterations: iters,
+					Variant:    variant,
+					TimeoutMS:  timeoutMS,
+				}, g)
+				reqs = append(reqs, prepared{body: body, codec: codecBinary})
 			}
-			bodies = append(bodies, body)
 			names = append(names, fmt.Sprintf("%s(%dv/%de)", sc.name, sc.vertices, sc.edges))
 		}
 	}
-	return bodies, names, nil
+	return reqs, names, nil
 }
 
 // report merges the per-worker tallies and prints the run summary.
@@ -201,12 +254,18 @@ func report(w io.Writer, results []*workerResult, elapsed time.Duration) {
 	var latencies []time.Duration
 	status := make(map[int]int)
 	transport := 0
+	var codec [numCodecs]codecTally
 	for _, r := range results {
 		latencies = append(latencies, r.latencies...)
 		for code, n := range r.status {
 			status[code] += n
 		}
 		transport += r.transport
+		for c := range r.codec {
+			codec[c].requests += r.codec[c].requests
+			codec[c].bytesOut += r.codec[c].bytesOut
+			codec[c].bytesIn += r.codec[c].bytesIn
+		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 
@@ -228,6 +287,14 @@ func report(w io.Writer, results []*workerResult, elapsed time.Duration) {
 	}
 	fmt.Fprintf(w, "  accounted: %d by status + %d transport = %d started\n",
 		completed, transport, started)
+	mbps := func(b int64) float64 { return float64(b) / (1 << 20) / elapsed.Seconds() }
+	for c, t := range codec {
+		if t.requests == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  codec %s: %d requests, %.2f MB/s out, %.2f MB/s in\n",
+			codecNames[c], t.requests, mbps(t.bytesOut), mbps(t.bytesIn))
+	}
 	if shed := status[http.StatusTooManyRequests]; started > 0 {
 		fmt.Fprintf(w, "  shed rate: %.2f%%\n", 100*float64(shed)/float64(started))
 	}

@@ -1,16 +1,18 @@
 package bench
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"net/http"
+	"net"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 // PerfSchema versions the BENCH_*.json layout; bump it when a record
@@ -143,6 +146,7 @@ func perfWorkloads(ctx context.Context) ([]struct {
 		return nil, nil, fmt.Errorf("bench: perf fixture encode: %w", err)
 	}
 	encoded := gtext.Bytes()
+	bframe := dag.AppendBinary(nil, g)
 	var grd bytes.Reader
 	limits := dag.Limits{MaxNodes: 20000, MaxEdges: 200000}
 
@@ -170,6 +174,10 @@ func perfWorkloads(ctx context.Context) ([]struct {
 		{"dag/readtext_1200", func() error {
 			grd.Reset(encoded)
 			_, err := dag.ReadTextLimits(&grd, limits)
+			return err
+		}},
+		{"dag/readbinary_1200", func() error {
+			_, err := dag.DecodeBinary(bframe, limits)
 			return err
 		}},
 		{"sched/paraconv_plan_200", func() error {
@@ -218,18 +226,22 @@ func RunPerf(ctx context.Context, short bool) (*PerfReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Records = append(rep.Records, daemon)
+	rep.Records = append(rep.Records, daemon...)
 	return rep, nil
 }
 
 // measureDaemon drives a live loopback paraconvd at full tilt with one
 // client goroutine per core and reports sustained requests/second on
-// the plan endpoint.  The request repeats, so after the first solve the
-// serving path (decode, cache hit, encode) is what's measured — the
-// solver itself has its own records.
-func measureDaemon(ctx context.Context, target time.Duration) (PerfRecord, error) {
-	fail := func(err error) (PerfRecord, error) {
-		return PerfRecord{}, fmt.Errorf("bench: perf daemon: %w", err)
+// the plan endpoint, once per codec: server/plan_req is the binary
+// wire format, server/plan_req_json the JSON envelope.  The request
+// repeats, so after the first solve the serving path (decode, cache
+// hit, encode) is what's measured — the solver itself has its own
+// records.  Both rows use the same lean persistent HTTP/1.1 client, so
+// they isolate the server; net/http's client machinery alone costs
+// more per request than the whole serving path.
+func measureDaemon(ctx context.Context, target time.Duration) ([]PerfRecord, error) {
+	fail := func(err error) ([]PerfRecord, error) {
+		return nil, fmt.Errorf("bench: perf daemon: %w", err)
 	}
 	g, err := synth.Generate(synth.Params{Name: "perfreq", Vertices: 60, Edges: 150, Seed: 9060})
 	if err != nil {
@@ -239,10 +251,11 @@ func measureDaemon(ctx context.Context, target time.Duration) (PerfRecord, error
 	if err := dag.WriteText(&gtext, g); err != nil {
 		return fail(err)
 	}
-	body, err := json.Marshal(map[string]any{"graph": gtext.String(), "pes": 16})
+	jsonBody, err := json.Marshal(map[string]any{"graph": gtext.String(), "pes": 16})
 	if err != nil {
 		return fail(err)
 	}
+	binBody := wire.AppendRequest(nil, &wire.Request{PEs: 16}, g)
 
 	srv := server.New(server.Config{})
 	rn, err := srv.Start("127.0.0.1:0")
@@ -251,51 +264,95 @@ func measureDaemon(ctx context.Context, target time.Duration) (PerfRecord, error
 		return fail(err)
 	}
 	defer rn.Drain(5 * time.Second)
-	url := "http://" + rn.Addr() + "/v1/plan"
+	addr := rn.Addr()
 
+	var records []PerfRecord
+	for _, c := range []struct {
+		name        string
+		contentType string
+		body        []byte
+	}{
+		{"server/plan_req", wire.ContentTypeBinary, binBody},
+		{"server/plan_req_json", wire.ContentTypeJSON, jsonBody},
+	} {
+		raw := rawPlanRequest(addr, c.contentType, c.body)
+		rec, err := driveDaemon(ctx, target, addr, raw)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", c.name, err))
+		}
+		rec.Name = c.name
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// rawPlanRequest pre-serializes one complete HTTP/1.1 request for the
+// plan endpoint; the load loop writes these bytes verbatim.
+func rawPlanRequest(addr, contentType string, body []byte) []byte {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "POST /v1/plan HTTP/1.1\r\nHost: %s\r\nContent-Type: %s\r\nAccept: %s\r\nContent-Length: %d\r\n\r\n",
+		addr, contentType, contentType, len(body))
+	sb.Write(body)
+	return sb.Bytes()
+}
+
+// driveDaemon hammers the daemon with one persistent lean connection
+// per core for the target window.
+func driveDaemon(ctx context.Context, target time.Duration, addr string, raw []byte) (PerfRecord, error) {
 	workers := runtime.GOMAXPROCS(0)
+	clients := make([]*leanClient, workers)
+	for i := range clients {
+		c, err := dialLean(addr, raw)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.close()
+			}
+			return PerfRecord{}, err
+		}
+		clients[i] = c
+		defer c.close()
+	}
+	// Warm up: the first exchange populates the plan cache and the
+	// server's pools before the measurement window opens.
+	if err := clients[0].do(); err != nil {
+		return PerfRecord{}, err
+	}
+
 	var before, after runtime.MemStats
 	var total, failures atomic.Int64
 	var firstErr atomic.Value
-
-	// Warm up: one request populates the plan cache and the transport's
-	// connection pool.
-	if err := postOnce(ctx, url, body); err != nil {
-		return fail(err)
-	}
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	deadline := start.Add(target)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for _, c := range clients {
 		wg.Add(1)
-		go func() {
+		go func(c *leanClient) {
 			defer wg.Done()
 			for time.Now().Before(deadline) && ctx.Err() == nil {
-				if err := postOnce(ctx, url, body); err != nil {
+				if err := c.do(); err != nil {
 					failures.Add(1)
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 				total.Add(1)
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err := ctx.Err(); err != nil {
-		return fail(err)
+		return PerfRecord{}, err
 	}
 	if f := failures.Load(); f > 0 {
-		return fail(fmt.Errorf("%d requests failed (first: %v)", f, firstErr.Load()))
+		return PerfRecord{}, fmt.Errorf("%d requests failed (first: %v)", f, firstErr.Load())
 	}
 	ops := total.Load()
 	if ops == 0 {
-		return fail(fmt.Errorf("no requests completed in %v", target))
+		return PerfRecord{}, fmt.Errorf("no requests completed in %v", target)
 	}
 	return PerfRecord{
-		Name:        "server/plan_req",
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
@@ -304,20 +361,62 @@ func measureDaemon(ctx context.Context, target time.Duration) (PerfRecord, error
 	}, nil
 }
 
-func postOnce(ctx context.Context, url string, body []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+// leanClient is a minimal persistent HTTP/1.1 loopback client: one
+// pre-serialized request written verbatim per exchange, the response
+// status and Content-Length scraped off the header bytes, the body
+// discarded in place.  It exists because net/http's client spends
+// ~200µs per request on connection-pool and header machinery — more
+// than the entire serving path under measurement.
+type leanClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	raw  []byte
+}
+
+func dialLean(addr string, raw []byte) (*leanClient, error) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
+		return nil, err
+	}
+	return &leanClient{conn: conn, br: bufio.NewReaderSize(conn, 32<<10), raw: raw}, nil
+}
+
+func (c *leanClient) close() { c.conn.Close() }
+
+// do runs one exchange and fails on any status but 200.
+func (c *leanClient) do() error {
+	if _, err := c.conn.Write(c.raw); err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	status, err := c.br.ReadSlice('\n')
 	if err != nil {
-		return err
+		return fmt.Errorf("reading status line: %w", err)
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("plan request: status %d", resp.StatusCode)
+	if len(status) < 12 || string(status[9:12]) != "200" {
+		return fmt.Errorf("plan request: status line %q", bytes.TrimSpace(status))
+	}
+	length := -1
+	for {
+		line, err := c.br.ReadSlice('\n')
+		if err != nil {
+			return fmt.Errorf("reading header: %w", err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			break
+		}
+		if name, val, ok := bytes.Cut(line, []byte{':'}); ok &&
+			bytes.EqualFold(bytes.TrimSpace(name), []byte("Content-Length")) {
+			length, err = strconv.Atoi(string(bytes.TrimSpace(val)))
+			if err != nil {
+				return fmt.Errorf("bad Content-Length %q", bytes.TrimSpace(val))
+			}
+		}
+	}
+	if length < 0 {
+		return fmt.Errorf("response has no Content-Length")
+	}
+	if _, err := c.br.Discard(length); err != nil {
+		return fmt.Errorf("discarding body: %w", err)
 	}
 	return nil
 }

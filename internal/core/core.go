@@ -21,7 +21,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/dag"
@@ -49,13 +50,25 @@ type Item struct {
 // objective schedule.  The result is sorted by deadline (ties by edge
 // ID for determinism), completing the §3.3.1 precomputation.
 func BuildItems(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing) ([]Item, error) {
+	return BuildItemsInto(nil, g, classes, tm)
+}
+
+// BuildItemsInto is BuildItems appending into dst[:0], the
+// caller-buffer form for pooled solve paths.  The sort comparator is
+// capture-free, so a call with sufficient capacity allocates nothing.
+//
+//paraconv:hotpath
+func BuildItemsInto(dst []Item, g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing) ([]Item, error) {
 	if len(classes) != g.NumEdges() {
 		return nil, fmt.Errorf("core: classification covers %d edges; want %d", len(classes), g.NumEdges())
 	}
 	if err := tm.Validate(g.NumNodes()); err != nil {
 		return nil, err
 	}
-	items := make([]Item, 0, len(classes))
+	if cap(dst) < len(classes) {
+		dst = make([]Item, 0, len(classes))
+	}
+	items := dst[:0]
 	for i := range classes {
 		c := &classes[i]
 		if c.DeltaR() <= 0 {
@@ -69,11 +82,11 @@ func BuildItems(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing) ([]I
 			DeltaR:   c.DeltaR(),
 		})
 	}
-	sort.Slice(items, func(a, b int) bool {
-		if items[a].Deadline != items[b].Deadline {
-			return items[a].Deadline < items[b].Deadline
+	slices.SortFunc(items, func(a, b Item) int {
+		if a.Deadline != b.Deadline {
+			return a.Deadline - b.Deadline
 		}
-		return items[a].Edge < items[b].Edge
+		return int(a.Edge - b.Edge)
 	})
 	return items, nil
 }
@@ -109,70 +122,121 @@ func Optimize(g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capaci
 // ctx at every item-row boundary and returns the context's error if it
 // is cancelled mid-solve, leaving no partial state behind.
 func OptimizeCtx(ctx context.Context, g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capacity int) (Allocation, error) {
-	if capacity < 0 {
-		return Allocation{}, fmt.Errorf("core: cache capacity %d; want >= 0", capacity)
-	}
-	items, err := BuildItems(g, classes, tm)
-	if err != nil {
+	var alloc Allocation
+	if err := OptimizeInto(ctx, &alloc, g, classes, tm, capacity); err != nil {
 		return Allocation{}, err
-	}
-	chosen, profit, err := KnapsackCtx(ctx, items, capacity)
-	if err != nil {
-		return Allocation{}, err
-	}
-	alloc := Allocation{
-		Assignment:  retime.AllEDRAM(g.NumEdges()),
-		Profit:      profit,
-		Competitors: len(items),
-	}
-	for i, item := range items {
-		if chosen[i] {
-			alloc.Assignment[item.Edge] = pim.InCache
-			alloc.CacheUsed += item.Size
-			alloc.CachedCount++
-		}
-	}
-	fillZeroDelta(g, classes, &alloc, capacity)
-	if check.Enabled() {
-		claim := check.Claim{CacheUsed: alloc.CacheUsed, CachedCount: alloc.CachedCount, RMax: -1}
-		if err := check.CheckAllocation(g, alloc.Assignment, capacity, claim, nil); err != nil {
-			return Allocation{}, fmt.Errorf("core: %w", err)
-		}
 	}
 	return alloc, nil
 }
 
+// optScratch pools the allocation pipeline's intermediates — the DP
+// item list, the decision vector and the zero-ΔR filler keys — so a
+// steady-state OptimizeInto call allocates nothing beyond what dst
+// itself lacks.
+type optScratch struct {
+	items   []Item
+	chosen  []bool
+	fillers []filler
+}
+
+var optPool = sync.Pool{New: func() any { return new(optScratch) }}
+
+// OptimizeInto is OptimizeCtx writing into dst, reusing the capacity
+// of its Assignment slice — the caller-buffer form mirroring
+// KnapsackInto for pooled solve paths.  All other Allocation fields
+// are overwritten.
+//
+//paraconv:hotpath
+func OptimizeInto(ctx context.Context, dst *Allocation, g *dag.Graph, classes []retime.EdgeClass, tm retime.Timing, capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("core: cache capacity %d; want >= 0", capacity)
+	}
+	sc := optPool.Get().(*optScratch)
+	defer optPool.Put(sc)
+	items, err := BuildItemsInto(sc.items[:0], g, classes, tm)
+	if items != nil {
+		sc.items = items
+	}
+	if err != nil {
+		return err
+	}
+	if cap(sc.chosen) < len(items) {
+		sc.chosen = make([]bool, len(items))
+	}
+	chosen := sc.chosen[:len(items)]
+	profit, err := KnapsackInto(ctx, chosen, items, capacity)
+	if err != nil {
+		return err
+	}
+	if cap(dst.Assignment) < g.NumEdges() {
+		dst.Assignment = make(retime.Assignment, g.NumEdges())
+	}
+	dst.Assignment = dst.Assignment[:g.NumEdges()]
+	for i := range dst.Assignment {
+		dst.Assignment[i] = pim.InEDRAM
+	}
+	dst.Profit = profit
+	dst.Competitors = len(items)
+	dst.CacheUsed, dst.CachedCount = 0, 0
+	for i, item := range items {
+		if chosen[i] {
+			dst.Assignment[item.Edge] = pim.InCache
+			dst.CacheUsed += item.Size
+			dst.CachedCount++
+		}
+	}
+	sc.fillers = fillZeroDelta(g, classes, dst, capacity, sc.fillers[:0])
+	if check.Enabled() {
+		claim := check.Claim{CacheUsed: dst.CacheUsed, CachedCount: dst.CachedCount, RMax: -1}
+		if err := check.CheckAllocation(g, dst.Assignment, capacity, claim, nil); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// filler is a zero-ΔR back-fill candidate with its sort keys
+// extracted, so the ordering comparator captures nothing.
+type filler struct {
+	traffic int64
+	size    int
+	id      dag.EdgeID
+}
+
 // fillZeroDelta back-fills remaining cache capacity with zero-profit
 // IPRs, largest traffic first (ties by smaller footprint, then edge
-// ID, for determinism).
-func fillZeroDelta(g *dag.Graph, classes []retime.EdgeClass, alloc *Allocation, capacity int) {
-	var fillers []dag.EdgeID
+// ID, for determinism).  It appends candidates into buf[:0] and
+// returns the (possibly grown) buffer for reuse.
+func fillZeroDelta(g *dag.Graph, classes []retime.EdgeClass, alloc *Allocation, capacity int, buf []filler) []filler {
+	fillers := buf
 	for i := range classes {
 		if classes[i].DeltaR() <= 0 {
-			fillers = append(fillers, classes[i].Edge)
+			e := g.Edge(classes[i].Edge)
+			fillers = append(fillers, filler{traffic: trafficOf(e), size: e.Size, id: classes[i].Edge})
 		}
 	}
-	sort.Slice(fillers, func(a, b int) bool {
-		ea, eb := g.Edge(fillers[a]), g.Edge(fillers[b])
-		ta, tb := trafficOf(ea), trafficOf(eb)
-		if ta != tb {
-			return ta > tb
+	slices.SortFunc(fillers, func(a, b filler) int {
+		if a.traffic != b.traffic {
+			if a.traffic > b.traffic {
+				return -1
+			}
+			return 1
 		}
-		if ea.Size != eb.Size {
-			return ea.Size < eb.Size
+		if a.size != b.size {
+			return a.size - b.size
 		}
-		return fillers[a] < fillers[b]
+		return int(a.id - b.id)
 	})
 	left := capacity - alloc.CacheUsed
-	for _, id := range fillers {
-		sz := g.Edge(id).Size
-		if sz <= left {
-			alloc.Assignment[id] = pim.InCache
-			alloc.CacheUsed += sz
+	for _, f := range fillers {
+		if f.size <= left {
+			alloc.Assignment[f.id] = pim.InCache
+			alloc.CacheUsed += f.size
 			alloc.CachedCount++
-			left -= sz
+			left -= f.size
 		}
 	}
+	return fillers
 }
 
 func trafficOf(e *dag.Edge) int64 {

@@ -3,18 +3,48 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrCyclic is returned (wrapped) by algorithms that require a DAG when
 // the graph contains a directed cycle.
 var ErrCyclic = errors.New("dag: graph contains a cycle")
 
+// topoScratch is the pooled working state of a topological sort: the
+// in-degree counters, the ready heap, and (for callers that discard
+// the order, like IsAcyclic) an order buffer of their own.
+type topoScratch struct {
+	indeg []int
+	heap  idHeap
+	order []NodeID
+}
+
+var topoPool = sync.Pool{New: func() any { return new(topoScratch) }}
+
 // TopoSort returns one topological order of the vertices (Kahn's
 // algorithm, smallest-ID-first among ready vertices so the order is
 // deterministic).  It returns ErrCyclic if the graph is not acyclic.
 func (g *Graph) TopoSort() ([]NodeID, error) {
+	order, err := g.TopoSortInto(nil)
+	if err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// TopoSortInto is TopoSort appending into order[:0], so a caller that
+// plans repeatedly can reuse one buffer across solves.  On error the
+// returned slice is the (truncated) buffer, valid only for capacity
+// reuse.  The sort's internal in-degree and heap state is pooled.
+//
+//paraconv:hotpath
+func (g *Graph) TopoSortInto(order []NodeID) ([]NodeID, error) {
 	n := g.NumNodes()
-	indeg := make([]int, n)
+	sc := topoPool.Get().(*topoScratch)
+	if cap(sc.indeg) < n {
+		sc.indeg = make([]int, n)
+	}
+	indeg := sc.indeg[:n]
 	for v := 0; v < n; v++ {
 		indeg[v] = len(g.in[v])
 	}
@@ -23,13 +53,20 @@ func (g *Graph) TopoSort() ([]NodeID, error) {
 	// and determinism matters more than asymptotics.  Use an index
 	// heap for O(E log V) anyway, hand-rolled to avoid interface
 	// allocation churn.
-	heap := newIDHeap(n)
+	if cap(sc.heap.a) < n {
+		sc.heap.a = make([]NodeID, 0, n)
+	}
+	heap := &sc.heap
+	heap.a = heap.a[:0]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			heap.push(NodeID(v))
 		}
 	}
-	order := make([]NodeID, 0, n)
+	if cap(order) < n {
+		order = make([]NodeID, 0, n)
+	}
+	order = order[:0]
 	for heap.len() > 0 {
 		v := heap.pop()
 		order = append(order, v)
@@ -41,15 +78,19 @@ func (g *Graph) TopoSort() ([]NodeID, error) {
 			}
 		}
 	}
+	topoPool.Put(sc)
 	if len(order) != n {
-		return nil, fmt.Errorf("topological sort visited %d of %d vertices: %w", len(order), n, ErrCyclic)
+		return order, fmt.Errorf("topological sort visited %d of %d vertices: %w", len(order), n, ErrCyclic)
 	}
 	return order, nil
 }
 
 // IsAcyclic reports whether the graph has no directed cycle.
 func (g *Graph) IsAcyclic() bool {
-	_, err := g.TopoSort()
+	sc := topoPool.Get().(*topoScratch)
+	order, err := g.TopoSortInto(sc.order)
+	sc.order = order[:0]
+	topoPool.Put(sc)
 	return err == nil
 }
 

@@ -68,20 +68,27 @@ type Limits struct {
 	MaxEdges int
 }
 
-// LimitError reports a graph exceeding a ReadTextLimits cap.  It is a
-// distinct type so servers can map it to a client error (the input is
+// LimitError reports a graph exceeding a codec cap.  It is a distinct
+// type so servers can map it to a client error (the input is
 // well-formed but over policy) rather than an internal failure.
 type LimitError struct {
 	// Kind is "nodes" or "edges".
 	Kind string
-	// Max is the cap that was crossed; Line is the input line that
-	// crossed it.
+	// Max is the cap that was crossed; Line is the text-input line
+	// that crossed it (0 for binary input, which reports Offset
+	// instead).
 	Max  int
 	Line int
+	// Offset is the byte offset at which a binary parse crossed the
+	// cap (0 for text input).
+	Offset int
 }
 
 // Error implements error.
 func (e *LimitError) Error() string {
+	if e.Offset > 0 {
+		return fmt.Sprintf("dag: offset %d: graph exceeds %s limit %d", e.Offset, e.Kind, e.Max)
+	}
 	return fmt.Sprintf("dag: line %d: graph exceeds %s limit %d", e.Line, e.Kind, e.Max)
 }
 

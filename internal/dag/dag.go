@@ -334,7 +334,12 @@ func (g *Graph) Sinks() []NodeID {
 	return s
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph.  The copy's adjacency lists
+// are carved out of two shared exact-fit backing arrays (full-slice
+// expressions cap each list at its own region, so a later AddEdge on
+// the clone reallocates that vertex's list instead of clobbering a
+// neighbour's), keeping the clone at a constant number of allocations
+// regardless of edge count.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		name:  g.name,
@@ -343,11 +348,20 @@ func (g *Graph) Clone() *Graph {
 		out:   make([][]EdgeID, len(g.out)),
 		in:    make([][]EdgeID, len(g.in)),
 	}
+	backing := make([]EdgeID, 2*len(g.edges))
+	outB, inB := backing[:len(g.edges)], backing[len(g.edges):]
+	outOff, inOff := 0, 0
 	for i := range g.out {
-		c.out[i] = append([]EdgeID(nil), g.out[i]...)
+		d := len(g.out[i])
+		c.out[i] = outB[outOff : outOff+d : outOff+d]
+		copy(c.out[i], g.out[i])
+		outOff += d
 	}
 	for i := range g.in {
-		c.in[i] = append([]EdgeID(nil), g.in[i]...)
+		d := len(g.in[i])
+		c.in[i] = inB[inOff : inOff+d : inOff+d]
+		copy(c.in[i], g.in[i])
+		inOff += d
 	}
 	return c
 }

@@ -49,3 +49,68 @@ func FuzzDAGCodecRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBinaryCodecRoundTrip feeds arbitrary bytes to DecodeBinary.
+// Rejected frames must fail with an error (never a panic); accepted
+// frames must re-encode byte-identically (the binary format is
+// canonical) and must carry exactly the text codec's information: the
+// graph pushed through WriteText/ReadText agrees structurally with the
+// binary parse, modulo the text format's name sanitization.
+func FuzzBinaryCodecRoundTrip(f *testing.F) {
+	g := New("fuzzseed")
+	g.AddNode(Node{Name: "a", Kind: OpConv, Exec: 2})
+	g.AddNode(Node{Name: "b", Kind: OpPool, Exec: 1})
+	g.AddEdge(Edge{From: 0, To: 1, Size: 3, CacheTime: 0, EDRAMTime: 2})
+	f.Add(AppendBinary(nil, g))
+	f.Add([]byte{'P', 'C', 'G', 1})
+	f.Add([]byte{'P', 'C', 'G', 1, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g1, err := DecodeBinary(data, Limits{})
+		if err != nil {
+			return // rejection is fine; a panic would fail the fuzzer
+		}
+		b1 := AppendBinary(nil, g1)
+		g2, err := DecodeBinary(b1, Limits{})
+		if err != nil {
+			t.Fatalf("DecodeBinary of its own encoding: %v", err)
+		}
+		if b2 := AppendBinary(nil, g2); !bytes.Equal(b1, b2) {
+			t.Fatalf("binary format is not canonical:\n% x\n% x", b1, b2)
+		}
+		// Cross-codec equivalence: the text round trip must preserve
+		// everything except names, which it sanitizes.
+		var txt bytes.Buffer
+		if err := WriteText(&txt, g1); err != nil {
+			t.Fatalf("WriteText after successful DecodeBinary: %v", err)
+		}
+		g3, err := ReadText(&txt)
+		if err != nil {
+			t.Fatalf("ReadText of the text encoding: %v", err)
+		}
+		if g3.NumNodes() != g1.NumNodes() || g3.NumEdges() != g1.NumEdges() {
+			t.Fatalf("codecs disagree on counts: |V| %d vs %d, |E| %d vs %d",
+				g1.NumNodes(), g3.NumNodes(), g1.NumEdges(), g3.NumEdges())
+		}
+		for i := 0; i < g1.NumNodes(); i++ {
+			a, b := g1.Node(NodeID(i)), g3.Node(NodeID(i))
+			if a.Kind != b.Kind || a.Exec != b.Exec {
+				t.Fatalf("node %d: binary %+v vs text %+v", i, *a, *b)
+			}
+			want := sanitizeToken(a.Name, "-")
+			if want == "-" {
+				want = ""
+			}
+			if b.Name != want {
+				t.Fatalf("node %d name: text %q, want sanitized %q of binary %q", i, b.Name, want, a.Name)
+			}
+		}
+		for i := 0; i < g1.NumEdges(); i++ {
+			a, b := g1.Edge(EdgeID(i)), g3.Edge(EdgeID(i))
+			if a.From != b.From || a.To != b.To || a.Size != b.Size ||
+				a.CacheTime != b.CacheTime || a.EDRAMTime != b.EDRAMTime {
+				t.Fatalf("edge %d: binary %+v vs text %+v", i, *a, *b)
+			}
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dag
+
+const raceEnabled = false

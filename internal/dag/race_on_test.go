@@ -1,0 +1,9 @@
+//go:build race
+
+package dag
+
+// raceEnabled reports whether the race detector is compiled in.  Its
+// instrumentation allocates on its own, so AllocsPerRun gates are
+// skipped under -race (the tests still run there for the data races
+// themselves — see scripts/ci.sh).
+const raceEnabled = true

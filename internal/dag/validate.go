@@ -3,6 +3,8 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sync"
 )
 
 // ValidationError describes one defect found by Validate.
@@ -17,6 +19,42 @@ type ValidationError struct {
 // Error implements error.
 func (e *ValidationError) Error() string { return "dag: invalid graph: " + e.Kind + ": " + e.Detail }
 
+// dupScratch pools the packed (From,To) key slice the duplicate-edge
+// scan sorts, so validating a clean graph costs no steady-state
+// allocations (Validate runs on every parsed request body).
+type dupScratch struct{ keys []uint64 }
+
+var dupPool = sync.Pool{New: func() any { return new(dupScratch) }}
+
+// hasDuplicateEdges reports whether any (From,To) pair appears on more
+// than one edge, via a sort-and-scan over packed keys instead of a
+// map.  NodeIDs fit 32 bits by construction: they are dense slice
+// indexes, and 2^32 Node structs would not fit in memory.
+func (g *Graph) hasDuplicateEdges() bool {
+	if len(g.edges) < 2 {
+		return false
+	}
+	sc := dupPool.Get().(*dupScratch)
+	keys := sc.keys[:0]
+	if cap(keys) < len(g.edges) {
+		keys = make([]uint64, 0, len(g.edges))
+	}
+	for i := range g.edges {
+		keys = append(keys, uint64(uint32(g.edges[i].From))<<32|uint64(uint32(g.edges[i].To)))
+	}
+	slices.Sort(keys)
+	dup := false
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			dup = true
+			break
+		}
+	}
+	sc.keys = keys[:0]
+	dupPool.Put(sc)
+	return dup
+}
+
 // Validate checks the structural and weight invariants the rest of the
 // system relies on:
 //
@@ -28,7 +66,36 @@ func (e *ValidationError) Error() string { return "dag: invalid graph: " + e.Kin
 //     on-chip cache, paper §2.2).
 //
 // All defects are reported, joined with errors.Join; nil means valid.
+// The clean-graph path allocates nothing: the duplicate-edge check
+// runs over pooled sorted keys, and the map-based scan only re-runs
+// (to attribute each duplicate to its edge ID) once a duplicate is
+// known to exist.
 func (g *Graph) Validate() error {
+	if g.hasDuplicateEdges() {
+		return g.validateSlow()
+	}
+	var errs []error
+	if !g.IsAcyclic() {
+		errs = append(errs, &ValidationError{Kind: "cycle", Detail: "graph must be a DAG"})
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.From == e.To {
+			errs = append(errs, &ValidationError{
+				Kind:   "self-loop",
+				Detail: fmt.Sprintf("edge %d is a self-loop on vertex %d", e.ID, e.From),
+			})
+		}
+		errs = appendEdgeWeightErrors(errs, e)
+	}
+	errs = appendExecErrors(errs, g)
+	return errors.Join(errs...)
+}
+
+// validateSlow is the original map-based validation, kept for the
+// defective case so duplicate-edge errors interleave with the other
+// per-edge defects in edge-ID order, exactly as before.
+func (g *Graph) validateSlow() error {
 	var errs []error
 	if !g.IsAcyclic() {
 		errs = append(errs, &ValidationError{Kind: "cycle", Detail: "graph must be a DAG"})
@@ -50,26 +117,36 @@ func (g *Graph) Validate() error {
 			})
 		}
 		seen[key] = true
-		if e.Size < 1 {
-			errs = append(errs, &ValidationError{
-				Kind:   "size",
-				Detail: fmt.Sprintf("edge %d (%d->%d) has Size %d; want >= 1", e.ID, e.From, e.To, e.Size),
-			})
-		}
-		if e.CacheTime < 0 {
-			errs = append(errs, &ValidationError{
-				Kind:   "transfer",
-				Detail: fmt.Sprintf("edge %d (%d->%d) has negative CacheTime %d", e.ID, e.From, e.To, e.CacheTime),
-			})
-		}
-		if e.EDRAMTime < e.CacheTime {
-			errs = append(errs, &ValidationError{
-				Kind: "transfer",
-				Detail: fmt.Sprintf("edge %d (%d->%d) has EDRAMTime %d < CacheTime %d; vault fetch cannot be cheaper than cache",
-					e.ID, e.From, e.To, e.EDRAMTime, e.CacheTime),
-			})
-		}
+		errs = appendEdgeWeightErrors(errs, e)
 	}
+	errs = appendExecErrors(errs, g)
+	return errors.Join(errs...)
+}
+
+func appendEdgeWeightErrors(errs []error, e *Edge) []error {
+	if e.Size < 1 {
+		errs = append(errs, &ValidationError{
+			Kind:   "size",
+			Detail: fmt.Sprintf("edge %d (%d->%d) has Size %d; want >= 1", e.ID, e.From, e.To, e.Size),
+		})
+	}
+	if e.CacheTime < 0 {
+		errs = append(errs, &ValidationError{
+			Kind:   "transfer",
+			Detail: fmt.Sprintf("edge %d (%d->%d) has negative CacheTime %d", e.ID, e.From, e.To, e.CacheTime),
+		})
+	}
+	if e.EDRAMTime < e.CacheTime {
+		errs = append(errs, &ValidationError{
+			Kind: "transfer",
+			Detail: fmt.Sprintf("edge %d (%d->%d) has EDRAMTime %d < CacheTime %d; vault fetch cannot be cheaper than cache",
+				e.ID, e.From, e.To, e.EDRAMTime, e.CacheTime),
+		})
+	}
+	return errs
+}
+
+func appendExecErrors(errs []error, g *Graph) []error {
 	for i := range g.nodes {
 		n := &g.nodes[i]
 		if n.Kind == OpInput || n.Kind == OpOutput {
@@ -82,5 +159,5 @@ func (g *Graph) Validate() error {
 			})
 		}
 	}
-	return errors.Join(errs...)
+	return errs
 }

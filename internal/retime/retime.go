@@ -106,18 +106,34 @@ func (c Case) String() string {
 	return fmt.Sprintf("case(%d)", int(c))
 }
 
-// caseOf maps the (cache, eDRAM) rrv pair to its Figure-4 case.
+// caseOf maps the (cache, eDRAM) rrv pair to its Figure-4 case.  It
+// runs once per edge per classification, so it is a plain switch (the
+// obvious 6-entry map would be rebuilt — and heap-allocated — on
+// every call).
 func caseOf(rc, re int) (Case, error) {
-	type key struct{ rc, re int }
-	m := map[key]Case{
-		{0, 0}: Case1, {0, 1}: Case2, {0, 2}: Case3,
-		{1, 1}: Case4, {1, 2}: Case5, {2, 2}: Case6,
+	switch rc {
+	case 0:
+		switch re {
+		case 0:
+			return Case1, nil
+		case 1:
+			return Case2, nil
+		case 2:
+			return Case3, nil
+		}
+	case 1:
+		switch re {
+		case 1:
+			return Case4, nil
+		case 2:
+			return Case5, nil
+		}
+	case 2:
+		if re == 2 {
+			return Case6, nil
+		}
 	}
-	c, ok := m[key{rc, re}]
-	if !ok {
-		return 0, fmt.Errorf("retime: rrv pair (cache=%d, edram=%d) outside the six Figure-4 cases", rc, re)
-	}
-	return c, nil
+	return 0, fmt.Errorf("retime: rrv pair (cache=%d, edram=%d) outside the six Figure-4 cases", rc, re)
 }
 
 // EdgeClass is the classification of one IPR edge against a timing.
@@ -146,10 +162,23 @@ func (c EdgeClass) Rel(p pim.Placement) int {
 // (its transfer time exceeds the period, which would need rrv > 2) or
 // if the timing itself is inconsistent.
 func Classify(g *dag.Graph, tm Timing) ([]EdgeClass, error) {
+	return ClassifyInto(nil, g, tm)
+}
+
+// ClassifyInto is Classify writing into dst[:0], so a caller that
+// plans repeatedly (the scheduler's pooled solve scratch) can reuse
+// one classification buffer across solves.  It allocates only when
+// dst lacks capacity.
+//
+//paraconv:hotpath
+func ClassifyInto(dst []EdgeClass, g *dag.Graph, tm Timing) ([]EdgeClass, error) {
 	if err := tm.Validate(g.NumNodes()); err != nil {
 		return nil, err
 	}
-	classes := make([]EdgeClass, g.NumEdges())
+	if cap(dst) < g.NumEdges() {
+		dst = make([]EdgeClass, g.NumEdges())
+	}
+	classes := dst[:g.NumEdges()]
 	for i := range g.Edges() {
 		e := g.Edge(dag.EdgeID(i))
 		if e.EDRAMTime > tm.Period {
@@ -284,21 +313,48 @@ func (r Result) Prologue() int { return r.RMax * r.Period }
 // R (hence R_max) by a longest-path pass in reverse topological
 // order, with sinks pinned at 0.
 func Apply(g *dag.Graph, classes []EdgeClass, a Assignment, period int) (Result, error) {
-	if period < 1 {
-		return Result{}, fmt.Errorf("retime: period %d; want >= 1", period)
-	}
-	if len(classes) != g.NumEdges() || len(a) != g.NumEdges() {
-		return Result{}, fmt.Errorf("retime: classes/assignment cover %d/%d edges; want %d", len(classes), len(a), g.NumEdges())
-	}
-	order, err := g.TopoSort()
-	if err != nil {
+	var res Result
+	if err := ApplyInto(&res, g, classes, a, period, nil); err != nil {
 		return Result{}, err
 	}
-	rEdge := make([]int, g.NumEdges())
+	return res, nil
+}
+
+// ApplyInto is Apply writing into res, reusing the capacity of its R
+// and REdge slices — the caller-buffer form for pooled solve paths.
+// A non-nil order must be a topological order of g (as returned by
+// TopoSort), letting a caller that already holds one skip the
+// re-sort; nil recomputes it.
+//
+//paraconv:hotpath
+func ApplyInto(res *Result, g *dag.Graph, classes []EdgeClass, a Assignment, period int, order []dag.NodeID) error {
+	if period < 1 {
+		return fmt.Errorf("retime: period %d; want >= 1", period)
+	}
+	if len(classes) != g.NumEdges() || len(a) != g.NumEdges() {
+		return fmt.Errorf("retime: classes/assignment cover %d/%d edges; want %d", len(classes), len(a), g.NumEdges())
+	}
+	if order == nil {
+		var err error
+		order, err = g.TopoSort()
+		if err != nil {
+			return err
+		}
+	} else if len(order) != g.NumNodes() {
+		return fmt.Errorf("retime: supplied order covers %d vertices; want %d", len(order), g.NumNodes())
+	}
+	if cap(res.REdge) < g.NumEdges() {
+		res.REdge = make([]int, g.NumEdges())
+	}
+	rEdge := res.REdge[:g.NumEdges()]
 	for i := range classes {
 		rEdge[i] = classes[i].Rel(a[i])
 	}
-	r := make([]int, g.NumNodes())
+	if cap(res.R) < g.NumNodes() {
+		res.R = make([]int, g.NumNodes())
+	}
+	r := res.R[:g.NumNodes()]
+	clear(r)
 	for idx := len(order) - 1; idx >= 0; idx-- {
 		v := order[idx]
 		for _, eid := range g.Out(v) {
@@ -316,10 +372,11 @@ func Apply(g *dag.Graph, classes []EdgeClass, a Assignment, period int) (Result,
 	}
 	if check.Enabled() {
 		if err := check.CheckRetiming(g, r, rEdge); err != nil {
-			return Result{}, fmt.Errorf("retime: %w", err)
+			return fmt.Errorf("retime: %w", err)
 		}
 	}
-	return Result{R: r, REdge: rEdge, RMax: rmax, Period: period}, nil
+	res.R, res.REdge, res.RMax, res.Period = r, rEdge, rmax, period
+	return nil
 }
 
 // AnalyzeAssignment is the one-call variant: classify every edge

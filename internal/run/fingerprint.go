@@ -15,28 +15,48 @@ import (
 // graphFPs memoizes graph fingerprints by pointer.  Graphs are treated
 // as immutable once built (every mutation path in the module — synth
 // generation, Clone, Perturb — produces a fresh *Graph), so a pointer
-// identifies its content for the life of the process.
-var graphFPs sync.Map // *dag.Graph -> string
+// identifies its content for the life of the process.  The memo is
+// bounded: once it holds maxGraphFPs entries it is cleared wholesale,
+// so a long-lived server churning through graphs does not pin every
+// one of them (the map key keeps the *Graph alive) — eviction only
+// costs a re-hash on the next lookup.
+var (
+	graphFPMu sync.Mutex
+	graphFPs  = make(map[*dag.Graph]string, 64)
+)
+
+const maxGraphFPs = 4096
+
+// fpBufPool recycles the binary-encoding scratch GraphFingerprint
+// serializes graphs into before hashing.
+var fpBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // GraphFingerprint returns a content hash of the graph: sha256 over
-// the dag text codec, which covers the name, every node (kind, exec)
+// the dag binary codec, which covers the name, every node (kind, exec)
 // and every edge (endpoints, size, transfer times) — exactly the
 // inputs the planners read.  The result is memoized per *Graph.
 func GraphFingerprint(g *dag.Graph) string {
 	if g == nil {
 		return "graph:nil"
 	}
-	if v, ok := graphFPs.Load(g); ok {
-		return v.(string)
+	graphFPMu.Lock()
+	fp, ok := graphFPs[g]
+	graphFPMu.Unlock()
+	if ok {
+		return fp
 	}
-	h := sha256.New()
-	if err := dag.WriteText(h, g); err != nil {
-		// Writes into a hash cannot fail; keep a correct (if
-		// process-local) fallback rather than a panic.
-		return fmt.Sprintf("graph:ptr:%p", g)
+	bp := fpBufPool.Get().(*[]byte)
+	frame := dag.AppendBinary((*bp)[:0], g)
+	sum := sha256.Sum256(frame)
+	*bp = frame[:0]
+	fpBufPool.Put(bp)
+	fp = "graph:" + hex.EncodeToString(sum[:])
+	graphFPMu.Lock()
+	if len(graphFPs) >= maxGraphFPs {
+		clear(graphFPs)
 	}
-	fp := "graph:" + hex.EncodeToString(h.Sum(nil))
-	graphFPs.Store(g, fp)
+	graphFPs[g] = fp
+	graphFPMu.Unlock()
 	return fp
 }
 

@@ -3,7 +3,8 @@ package sched
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -11,6 +12,41 @@ import (
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
+
+// planScratch pools every intermediate of one Para-CONV solve — the
+// group-search execution multiset, packing loads, topological order,
+// objective tasks and timing, edge classification, DP allocation and
+// retiming propagation — so a steady-state plan construction touches
+// the heap only for the outputs the returned *Plan retains.  It is
+// the sched-layer counterpart of core's KnapsackInto scratch.
+type planScratch struct {
+	execs   []int
+	loads   []int
+	order   []dag.NodeID
+	tasks   []Task
+	start   []int
+	finish  []int
+	assign  retime.Assignment
+	classes []retime.EdgeClass
+	alloc   core.Allocation
+	res     retime.Result
+	cands   []groupCand
+}
+
+var planPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// ints returns s resized to n without allocation when capacity
+// suffices; contents are unspecified.
+func ints(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// groupCand is one divisor candidate of the group search: u groups at
+// packed period p.
+type groupCand struct{ u, p int }
 
 // checkSchedule re-verifies an iteration schedule through the
 // invariant layer when checks are enabled: PE exclusivity, window
@@ -78,6 +114,29 @@ func Objective(g *dag.Graph, numPEs int) (IterationSchedule, error) {
 
 	loads := make([]int, numPEs)
 	tasks := make([]Task, g.NumNodes())
+	period := packObjective(g, order, numPEs, tasks, loads)
+	iter := IterationSchedule{
+		Graph:      g,
+		PEs:        numPEs,
+		Period:     period,
+		Tasks:      tasks,
+		Assignment: retime.AllEDRAM(g.NumEdges()),
+	}
+	if err := checkSchedule(&iter, 0, 0); err != nil {
+		return IterationSchedule{}, fmt.Errorf("sched: objective: %w", err)
+	}
+	return iter, nil
+}
+
+// packObjective fills tasks (len |V|) and loads (len numPEs, used as
+// scratch) with the greedy topological packing and returns the
+// resulting period, already raised to the period floor.  It is the
+// allocation-free core shared by Objective and the pooled kernel
+// path.
+//
+//paraconv:hotpath
+func packObjective(g *dag.Graph, order []dag.NodeID, numPEs int, tasks []Task, loads []int) int {
+	clear(loads)
 	for _, v := range order {
 		pe := 0
 		for i := 1; i < numPEs; i++ {
@@ -98,24 +157,14 @@ func Objective(g *dag.Graph, numPEs int) (IterationSchedule, error) {
 	if floor := periodFloor(g); floor > period {
 		period = floor
 	}
-	iter := IterationSchedule{
-		Graph:      g,
-		PEs:        numPEs,
-		Period:     period,
-		Tasks:      tasks,
-		Assignment: retime.AllEDRAM(g.NumEdges()),
-	}
-	if err := checkSchedule(&iter, 0, 0); err != nil {
-		return IterationSchedule{}, fmt.Errorf("sched: objective: %w", err)
-	}
-	return iter, nil
+	return period
 }
 
 // packedMakespan computes the LPT makespan of the execution-time
 // multiset (already sorted descending) on numPEs PEs — the cheap inner
-// loop of the group search.
-func packedMakespan(execs []int, numPEs int) int {
-	loads := make([]int, numPEs)
+// loop of the group search.  loads is caller scratch of length numPEs.
+func packedMakespan(execs []int, numPEs int, loads []int) int {
+	clear(loads)
 	for _, e := range execs {
 		pe := 0
 		for i := 1; i < numPEs; i++ {
@@ -144,33 +193,36 @@ func packedMakespan(execs []int, numPEs int) int {
 // (fewer groups mean less filter-weight duplication and, for graphs
 // that already fill the array, U = 1: the paper's single-kernel
 // configuration).
-func chooseGroups(ctx context.Context, g *dag.Graph, numPEs int) (int, error) {
-	execs := make([]int, g.NumNodes())
+func chooseGroups(ctx context.Context, sc *planScratch, g *dag.Graph, numPEs int) (int, error) {
+	sc.execs = ints(sc.execs, g.NumNodes())
+	execs := sc.execs
 	for i := range g.Nodes() {
 		execs[i] = g.Nodes()[i].Exec
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(execs)))
+	slices.SortFunc(execs, func(a, b int) int { return b - a })
 	floor := periodFloor(g)
 
-	type cand struct{ u, p int }
-	var cands []cand
+	sc.loads = ints(sc.loads, numPEs)
+	cands := sc.cands[:0]
 	bestU, bestP := 0, 0
 	for u := 1; u <= numPEs; u++ {
 		if numPEs%u != 0 {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
+			sc.cands = cands
 			return 0, fmt.Errorf("sched: group search cancelled at %d/%d PEs per group: %w", numPEs/u, numPEs, err)
 		}
-		p := packedMakespan(execs, numPEs/u)
+		p := packedMakespan(execs, numPEs/u, sc.loads[:numPEs/u])
 		if p < floor {
 			p = floor
 		}
-		cands = append(cands, cand{u, p})
+		cands = append(cands, groupCand{u, p})
 		if bestU == 0 || p*bestU < bestP*u {
 			bestU, bestP = u, p
 		}
 	}
+	sc.cands = cands
 	for _, c := range cands {
 		// c.p/c.u <= 1.02 * bestP/bestU, in integers.
 		if c.p*bestU*50 <= bestP*c.u*51 {
@@ -203,11 +255,13 @@ func ParaCONVCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, erro
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	groups, err := chooseGroups(ctx, g, cfg.NumPEs)
+	sc := planPool.Get().(*planScratch)
+	defer planPool.Put(sc)
+	groups, err := chooseGroups(ctx, sc, g, cfg.NumPEs)
 	if err != nil {
 		return nil, err
 	}
-	return paraCONVKernel(ctx, g, cfg, groups)
+	return paraCONVKernel(ctx, sc, g, cfg, groups)
 }
 
 // ParaCONVSingle runs Para-CONV with a single group spanning the whole
@@ -229,7 +283,9 @@ func ParaCONVSingleCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return paraCONVKernel(ctx, g, cfg, 1)
+	sc := planPool.Get().(*planScratch)
+	defer planPool.Put(sc)
+	return paraCONVKernel(ctx, sc, g, cfg, 1)
 }
 
 // ParaCONVGivenSchedule runs Para-CONV's allocation pipeline against
@@ -300,72 +356,118 @@ func ParaCONVGivenScheduleCtx(ctx context.Context, g *dag.Graph, iter IterationS
 // so the classification, the DP allocation (against the group's own
 // cache capacity — each group holds its own IPR instances) and the
 // retiming are computed once on the original graph.
-func paraCONVKernel(ctx context.Context, g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
+//
+// Every intermediate — topological order, objective timing, edge
+// classes, DP allocation, retiming propagation — lives in the pooled
+// scratch; only the replicated graph, final task list, expanded
+// assignment and fresh retiming copies (the state the returned *Plan
+// retains) are allocated.
+//
+//paraconv:hotpath
+func paraCONVKernel(ctx context.Context, sc *planScratch, g *dag.Graph, cfg pim.Config, groups int) (*Plan, error) {
 	if groups < 1 || cfg.NumPEs%groups != 0 {
 		return nil, fmt.Errorf("sched: para-conv: %d groups does not divide %d PEs", groups, cfg.NumPEs)
 	}
 	groupPEs := cfg.NumPEs / groups
-	iter, err := Objective(g, groupPEs)
+
+	// Objective schedule on the group (the pooled form of Objective;
+	// the callers have already validated g and cfg).
+	n := g.NumNodes()
+	order, err := g.TopoSortInto(sc.order)
+	sc.order = order
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv objective: %w", err)
 	}
-	tm := iter.Timing()
-	classes, err := retime.Classify(g, tm)
+	sc.loads = ints(sc.loads, cfg.NumPEs)
+	if cap(sc.tasks) < n {
+		sc.tasks = make([]Task, n)
+	}
+	tasks := sc.tasks[:n]
+	period := packObjective(g, order, groupPEs, tasks, sc.loads[:groupPEs])
+	if cap(sc.assign) < g.NumEdges() {
+		sc.assign = make(retime.Assignment, g.NumEdges())
+	}
+	objAssign := sc.assign[:g.NumEdges()]
+	for i := range objAssign {
+		objAssign[i] = pim.InEDRAM
+	}
+	iter := IterationSchedule{Graph: g, PEs: groupPEs, Period: period, Tasks: tasks, Assignment: objAssign}
+	if err := checkSchedule(&iter, 0, 0); err != nil {
+		return nil, fmt.Errorf("sched: para-conv objective: %w", fmt.Errorf("sched: objective: %w", err))
+	}
+
+	// Timing straight out of the packed tasks (tasks[v].Node == v).
+	sc.start = ints(sc.start, n)
+	sc.finish = ints(sc.finish, n)
+	for v := 0; v < n; v++ {
+		sc.start[v] = tasks[v].Start
+		sc.finish[v] = tasks[v].Finish
+	}
+	tm := retime.Timing{Start: sc.start[:n], Finish: sc.finish[:n], Period: period}
+
+	classes, err := retime.ClassifyInto(sc.classes, g, tm)
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv classify: %w", err)
 	}
+	sc.classes = classes
 	capacity := groupPEs * cfg.CacheUnitsPerPE
-	alloc, err := core.OptimizeCtx(ctx, g, classes, tm, capacity)
-	if err != nil {
+	if err := core.OptimizeInto(ctx, &sc.alloc, g, classes, tm, capacity); err != nil {
 		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
 	}
-	res, err := retime.Apply(g, classes, alloc.Assignment, tm.Period)
-	if err != nil {
+	if err := retime.ApplyInto(&sc.res, g, classes, sc.alloc.Assignment, tm.Period, order); err != nil {
 		return nil, fmt.Errorf("sched: para-conv retime: %w", err)
 	}
-	if err := retime.CheckLegal(g, res); err != nil {
+	if err := retime.CheckLegal(g, sc.res); err != nil {
 		return nil, fmt.Errorf("sched: para-conv produced illegal retiming: %w", err)
 	}
 	if check.Enabled() {
-		if err := check.CheckAllocation(g, alloc.Assignment, capacity,
-			check.Claim{CacheUsed: alloc.CacheUsed, CachedCount: alloc.CachedCount, RMax: res.RMax}, res.R); err != nil {
+		if err := check.CheckAllocation(g, sc.alloc.Assignment, capacity,
+			check.Claim{CacheUsed: sc.alloc.CacheUsed, CachedCount: sc.alloc.CachedCount, RMax: sc.res.RMax}, sc.res.R); err != nil {
 			return nil, fmt.Errorf("sched: para-conv: %w", err)
 		}
 	}
 
-	// Replicate the group schedule across the array.
+	// Replicate the group schedule across the array.  Everything from
+	// here down is retained by the returned plan, so it is built fresh
+	// rather than from the scratch.
 	gu, err := dag.Replicate(g, groups)
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv replicate: %w", err)
 	}
-	tasks := make([]Task, 0, gu.NumNodes())
+	fullTasks := make([]Task, 0, gu.NumNodes())
 	for k := 0; k < groups; k++ {
-		for i := range iter.Tasks {
-			t := iter.Tasks[i]
-			t.Node += dag.NodeID(k * g.NumNodes())
+		for i := range tasks {
+			t := tasks[i]
+			t.Node += dag.NodeID(k * n)
 			t.PE += pim.PEID(k * groupPEs)
-			tasks = append(tasks, t)
+			fullTasks = append(fullTasks, t)
 		}
 	}
 	full := IterationSchedule{
 		Graph:      gu,
 		PEs:        cfg.NumPEs,
-		Period:     iter.Period,
-		Tasks:      tasks,
-		Assignment: retime.ExpandAssignment(alloc.Assignment, groups),
+		Period:     period,
+		Tasks:      fullTasks,
+		Assignment: retime.ExpandAssignment(sc.alloc.Assignment, groups),
 	}
-	if err := checkSchedule(&full, groups*alloc.CacheUsed, cfg.TotalCacheUnits()); err != nil {
+	if err := checkSchedule(&full, groups*sc.alloc.CacheUsed, cfg.TotalCacheUnits()); err != nil {
 		return nil, fmt.Errorf("sched: para-conv replicated kernel: %w", err)
+	}
+	logical := retime.Result{
+		R:      append([]int(nil), sc.res.R...),
+		REdge:  append([]int(nil), sc.res.REdge...),
+		RMax:   sc.res.RMax,
+		Period: sc.res.Period,
 	}
 	return recordPlan(&Plan{
 		Scheme:               "para-conv",
 		Iter:                 full,
 		ConcurrentIterations: groups,
-		RMax:                 res.RMax,
-		Retiming:             expandRetiming(res, groups),
-		LogicalRetiming:      res,
-		CachedIPRs:           alloc.CachedCount,
-		CacheLoadUnits:       groups * alloc.CacheUsed,
+		RMax:                 sc.res.RMax,
+		Retiming:             expandRetiming(sc.res, groups),
+		LogicalRetiming:      logical,
+		CachedIPRs:           sc.alloc.CachedCount,
+		CacheLoadUnits:       groups * sc.alloc.CacheUsed,
 	}), nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 // discardResponseWriter satisfies http.ResponseWriter without touching
@@ -66,12 +67,12 @@ func TestAllocsDecodePath(t *testing.T) {
 
 	decodeOnce := func() {
 		body.Reset(payload)
-		req, ok := s.decodeRequest(w, httpReq)
+		req, gotG, _, ok := s.decodeRequest(w, httpReq)
 		if !ok {
 			t.Fatal("decodeRequest rejected the request")
 		}
-		if _, err := s.parseGraph(req); err != nil {
-			t.Fatal(err)
+		if req == nil || gotG == nil || gotG.NumNodes() != g.NumNodes() {
+			t.Fatal("decodeRequest returned an incomplete request")
 		}
 	}
 	decodeOnce() // warm the pools
@@ -81,6 +82,48 @@ func TestAllocsDecodePath(t *testing.T) {
 		t.Errorf("decode+parse allocates %.0f objects per request; budget %.0f", allocs, budget)
 	}
 	t.Logf("decode+parse: %.1f allocs per request (budget %.0f)", allocs, budget)
+}
+
+// TestAllocsDecodePathBinary gates the binary request path: unlike the
+// text path (whose per-node name strings dominate), the binary decoder
+// backs all node names with one string, so the whole decode — envelope,
+// request strings, graph and its storage — must stay within a fixed
+// budget independent of graph size.
+func TestAllocsDecodePathBinary(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate runs without -race")
+	}
+	s := New(Config{})
+	defer s.Close()
+
+	g, err := synth.Generate(synth.Params{Name: "alloc-bin", Vertices: 200, Edges: 520, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := wire.AppendRequest(nil, &request{PEs: 16}, g)
+
+	body := &resettableBody{}
+	httpReq := httptest.NewRequest("POST", "/v1/plan", nil)
+	httpReq.Body = body
+	httpReq.Header.Set("Content-Type", wire.ContentTypeBinary)
+	w := &discardResponseWriter{h: make(http.Header)}
+
+	decodeOnce := func() {
+		body.Reset(payload)
+		req, gotG, respBin, ok := s.decodeRequest(w, httpReq)
+		if !ok || !respBin {
+			t.Fatal("decodeRequest rejected the binary request")
+		}
+		if req == nil || gotG == nil || gotG.NumNodes() != g.NumNodes() {
+			t.Fatal("decodeRequest returned an incomplete request")
+		}
+	}
+	decodeOnce() // warm the pools
+	allocs := testing.AllocsPerRun(30, decodeOnce)
+	if allocs > 48 {
+		t.Errorf("binary decode allocates %.0f objects per request; budget 48", allocs)
+	}
+	t.Logf("binary decode: %.1f allocs per request (budget 48)", allocs)
 }
 
 // TestAllocsWriteJSON gates the response encode path: after warm-up, a
@@ -102,6 +145,27 @@ func TestAllocsWriteJSON(t *testing.T) {
 	// chain) is no longer part of the bill.
 	if allocs > 12 {
 		t.Errorf("writeJSON allocates %.0f objects per response; want <= 12", allocs)
+	}
+}
+
+// TestAllocsWriteBinary gates the binary encode path: a warm pooled
+// buffer plus reflection-free appends means the whole response write
+// must be allocation-free.
+func TestAllocsWriteBinary(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate runs without -race")
+	}
+	resp := &planResponse{Scheme: "para-conv", Arch: "neurocube", PEs: 16, Period: 42,
+		VertexRetiming: []int{0, 1, 2}, CachedEdges: []int{1, 2, 3, 5, 8, 13}}
+	w := &discardResponseWriter{h: make(http.Header)}
+	writeBinary(w, http.StatusOK, resp) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		writeBinary(w, http.StatusOK, resp)
+	})
+	// Header.Set("Content-Length", ...) allocates its value slice; the
+	// frame staging itself must contribute nothing.
+	if allocs > 4 {
+		t.Errorf("writeBinary allocates %.0f objects per response; want <= 4", allocs)
 	}
 }
 

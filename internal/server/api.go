@@ -14,96 +14,21 @@ import (
 	"repro/internal/dag"
 	"repro/internal/obs"
 	"repro/internal/pim"
+	"repro/internal/wire"
 )
 
-// request is the JSON body shared by the three solve endpoints.  Every
-// field except Graph is optional.
-type request struct {
-	// Graph is the task graph in the dag text format.
-	Graph string `json:"graph"`
-	// Arch names an architecture preset: neurocube (default), prime,
-	// hmc2 or edge.  Selectarch ignores it in favour of Archs.
-	Arch string `json:"arch"`
-	// Archs is the candidate list for /v1/selectarch; empty means
-	// every preset.
-	Archs []string `json:"archs"`
-	// PEs is the processing-engine count (default 16).
-	PEs int `json:"pes"`
-	// Iterations sizes the predicted totals and the simulation
-	// horizon (default 100).
-	Iterations int `json:"iterations"`
-	// Variant picks the planner: para-conv (default),
-	// para-conv-single, sparta or naive.
-	Variant string `json:"variant"`
-	// TimeoutMS caps this request's solve time; 0 uses the server's
-	// default request timeout.
-	TimeoutMS int `json:"timeout_ms"`
-}
-
-// planResponse is the /v1/plan result: the Para-CONV decision plus
-// its predicted cost over the requested iteration count.
-type planResponse struct {
-	Scheme               string  `json:"scheme"`
-	Arch                 string  `json:"arch"`
-	PEs                  int     `json:"pes"`
-	Period               int     `json:"period"`
-	ConcurrentIterations int     `json:"concurrent_iterations"`
-	RMax                 int     `json:"r_max"`
-	PrologueTime         int     `json:"prologue_time"`
-	CachedIPRs           int     `json:"cached_iprs"`
-	CacheLoadUnits       int     `json:"cache_load_units"`
-	Vertices             int     `json:"vertices"`
-	Edges                int     `json:"edges"`
-	Iterations           int     `json:"iterations"`
-	TotalTime            int     `json:"total_time"`
-	Throughput           float64 `json:"throughput"`
-	VertexRetiming       []int   `json:"vertex_retiming,omitempty"`
-	CachedEdges          []int   `json:"cached_edges,omitempty"`
-}
-
-// simulateResponse is the /v1/simulate result: the closed-form
-// simulator's statistics for the planned schedule.
-type simulateResponse struct {
-	Scheme            string  `json:"scheme"`
-	Arch              string  `json:"arch"`
-	Iterations        int     `json:"iterations"`
-	Cycles            int     `json:"cycles"`
-	TasksExecuted     int     `json:"tasks_executed"`
-	CacheReads        int     `json:"cache_reads"`
-	EDRAMReads        int     `json:"edram_reads"`
-	CacheBytes        int64   `json:"cache_bytes"`
-	EDRAMBytes        int64   `json:"edram_bytes"`
-	EnergyPJ          float64 `json:"energy_pj"`
-	Utilization       float64 `json:"utilization"`
-	OffChipFetchRatio float64 `json:"offchip_fetch_ratio"`
-	PeakCacheLoad     int     `json:"peak_cache_load"`
-}
-
-// archResult is one /v1/selectarch ranking entry.
-type archResult struct {
-	Arch         string `json:"arch"`
-	PEs          int    `json:"pes"`
-	Period       int    `json:"period"`
-	PrologueTime int    `json:"prologue_time"`
-	TotalTime    int    `json:"total_time"`
-}
-
-// selectArchResponse is the /v1/selectarch result: the best candidate
-// and the full ranking, best first.
-type selectArchResponse struct {
-	Best    archResult   `json:"best"`
-	Ranking []archResult `json:"ranking"`
-}
-
-// errorResponse is the structured error body every non-2xx response
-// carries.
-type errorResponse struct {
-	Error string `json:"error"`
-	// Kind is machine-checkable: bad_request, bad_graph,
-	// graph_too_large, too_large, unplannable, timeout, canceled,
-	// shed or internal.
-	Kind string `json:"kind"`
-}
+// The exchange types live in internal/wire so the client tooling
+// (cmd/paraconvload, the bench harness) shares one schema and both
+// codecs with the server; the aliases keep this package's call sites
+// unchanged.
+type (
+	request            = wire.Request
+	planResponse       = wire.PlanResponse
+	simulateResponse   = wire.SimulateResponse
+	archResult         = wire.ArchResult
+	selectArchResponse = wire.SelectArchResponse
+	errorResponse      = wire.ErrorResponse
+)
 
 // statusClientClosed is the nginx-convention status for "client went
 // away before we could answer" — there is no registered HTTP code for
@@ -142,9 +67,87 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// writeBinary encodes v as a binary wire frame with the given status,
+// staged in the same pooled buffers as writeJSON and under the same
+// pin cap (a response that ballooned past maxPooledBodyBytes is
+// dropped, not recycled).
+//
+//paraconv:hotpath
+func writeBinary(w http.ResponseWriter, status int, v any) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	var frame []byte
+	switch p := v.(type) {
+	case *planResponse:
+		frame = wire.AppendPlanResponse(buf.AvailableBuffer(), p)
+	case *simulateResponse:
+		frame = wire.AppendSimulateResponse(buf.AvailableBuffer(), p)
+	case *selectArchResponse:
+		frame = wire.AppendSelectArchResponse(buf.AvailableBuffer(), p)
+	default:
+		obs.Log().Debug("server: no binary frame for payload", "type", fmt.Sprintf("%T", v))
+		http.Error(w, `{"error":"encoding response","kind":"internal"}`, http.StatusInternalServerError)
+		respBufPool.Put(buf)
+		return
+	}
+	buf.Write(frame)
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		obs.Log().Debug("server: writing response", "err", err)
+	}
+	if buf.Cap() <= maxPooledBodyBytes {
+		respBufPool.Put(buf)
+	}
+}
+
+// writeResponse dispatches a success payload through the negotiated
+// response codec.  Errors never come here: they are always JSON (see
+// writeError), whatever codec the payloads use.
+func writeResponse(w http.ResponseWriter, status int, v any, binary bool) {
+	if binary {
+		writeBinary(w, status, v)
+		return
+	}
+	writeJSON(w, status, v)
+}
+
 // writeError sends a structured JSON error.
 func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+// requestCodec classifies the request body's media type: JSON (the
+// default when no Content-Type is sent), the binary wire format, or
+// unsupported.  Parameters after ';' (charset and friends) are
+// ignored.
+func requestCodec(r *http.Request) (binary, ok bool) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	switch {
+	case ct == "" || strings.EqualFold(ct, wire.ContentTypeJSON):
+		return false, true
+	case strings.EqualFold(ct, wire.ContentTypeBinary):
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// responseBinary decides the response codec from the Accept header:
+// an explicit application/x-paraconv-bin selects binary; no Accept (or
+// the wildcard */*) mirrors the request codec; any other preference
+// falls back to JSON.
+func responseBinary(r *http.Request, reqBinary bool) bool {
+	accept := r.Header.Get("Accept")
+	if accept == "" || accept == "*/*" {
+		return reqBinary
+	}
+	return strings.Contains(accept, wire.ContentTypeBinary)
 }
 
 // writeSolveError maps a solve failure to a response: context errors

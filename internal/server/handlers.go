@@ -14,6 +14,7 @@ import (
 	"repro/internal/pim"
 	"repro/internal/run"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 // solveFunc computes one endpoint's response under a request-scoped
@@ -44,18 +45,8 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		obs.ServerRequests(endpoint, statusClass(sr.status)).Inc()
 	}()
 
-	req, ok := s.decodeRequest(sr, r)
+	req, g, respBinary, ok := s.decodeRequest(sr, r)
 	if !ok {
-		return
-	}
-	g, err := s.parseGraph(req)
-	if err != nil {
-		var lim *dag.LimitError
-		if errors.As(err, &lim) {
-			writeError(sr, http.StatusBadRequest, "graph_too_large", "%v", lim)
-			return
-		}
-		writeError(sr, http.StatusBadRequest, "bad_graph", "%v", err)
 		return
 	}
 
@@ -101,7 +92,7 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, 
 			writeSolveError(sr, res.err)
 			return
 		}
-		writeJSON(sr, http.StatusOK, res.payload)
+		writeResponse(sr, http.StatusOK, res.payload, respBinary)
 	case <-ctx.Done():
 		// Queued or running past the deadline; the job will observe
 		// the same dead context and bail on its own.
@@ -133,11 +124,24 @@ func putBodyState(bs *bodyState) {
 	bodyStatePool.Put(bs)
 }
 
-// decodeRequest reads and validates the JSON body under the body-size
-// cap, normalizing defaults.
+// decodeRequest negotiates the request codec from Content-Type (415
+// for anything that is neither JSON nor the binary wire format), reads
+// the body under the size cap, decodes it, parses and size-checks the
+// graph, and normalizes defaults.  The returned respBinary is the
+// negotiated response codec (Accept header, mirroring the request
+// codec when absent); errors themselves are always JSON.
 //
 //paraconv:hotpath
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, bool) {
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (req *request, g *dag.Graph, respBinary, ok bool) {
+	reqBinary, supported := requestCodec(r)
+	if !supported {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+			"unsupported Content-Type %q (want %s or %s)", r.Header.Get("Content-Type"),
+			wire.ContentTypeJSON, wire.ContentTypeBinary)
+		return nil, nil, false, false
+	}
+	respBinary = responseBinary(r, reqBinary)
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	bs := bodyStatePool.Get().(*bodyState)
 	defer putBodyState(bs)
@@ -147,19 +151,54 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
 				"request body exceeds %d bytes", tooBig.Limit)
-			return nil, false
+			return nil, nil, respBinary, false
 		}
 		writeError(w, http.StatusBadRequest, "bad_request", "reading request: %v", err)
-		return nil, false
+		return nil, nil, respBinary, false
 	}
-	bs.rd.Reset(bs.buf.Bytes())
-	dec := json.NewDecoder(&bs.rd)
-	dec.DisallowUnknownFields()
-	req := &request{}
-	if err := dec.Decode(req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
-		return nil, false
+
+	req = &request{}
+	if reqBinary {
+		// wire.DecodeRequest copies every string out of the frame, so
+		// the pooled body buffer is free the moment it returns.
+		var err error
+		g, err = wire.DecodeRequest(bs.buf.Bytes(), req, dag.Limits{MaxNodes: s.cfg.MaxGraphNodes, MaxEdges: s.cfg.MaxGraphEdges})
+		if err != nil {
+			var lim *dag.LimitError
+			var graphErr *wire.GraphError
+			switch {
+			case errors.As(err, &lim):
+				writeError(w, http.StatusBadRequest, "graph_too_large", "%v", lim)
+			case errors.Is(err, wire.ErrNoGraph):
+				writeError(w, http.StatusBadRequest, "bad_graph", "request has no graph")
+			case errors.As(err, &graphErr):
+				writeError(w, http.StatusBadRequest, "bad_graph", "%v", err)
+			default:
+				writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
+			}
+			return nil, nil, respBinary, false
+		}
+	} else {
+		bs.rd.Reset(bs.buf.Bytes())
+		dec := json.NewDecoder(&bs.rd)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
+			return nil, nil, respBinary, false
+		}
+		var err error
+		g, err = s.parseGraph(req)
+		if err != nil {
+			var lim *dag.LimitError
+			if errors.As(err, &lim) {
+				writeError(w, http.StatusBadRequest, "graph_too_large", "%v", lim)
+				return nil, nil, respBinary, false
+			}
+			writeError(w, http.StatusBadRequest, "bad_graph", "%v", err)
+			return nil, nil, respBinary, false
+		}
 	}
+
 	if req.PEs == 0 {
 		req.PEs = 16
 	}
@@ -169,15 +208,15 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request
 	switch {
 	case req.PEs < 1 || req.PEs > 4096:
 		writeError(w, http.StatusBadRequest, "bad_request", "pes %d out of range [1, 4096]", req.PEs)
-		return nil, false
+		return nil, nil, respBinary, false
 	case req.Iterations < 1 || req.Iterations > 1_000_000_000:
 		writeError(w, http.StatusBadRequest, "bad_request", "iterations %d out of range [1, 1e9]", req.Iterations)
-		return nil, false
+		return nil, nil, respBinary, false
 	case req.TimeoutMS < 0:
 		writeError(w, http.StatusBadRequest, "bad_request", "timeout_ms %d is negative", req.TimeoutMS)
-		return nil, false
+		return nil, nil, respBinary, false
 	}
-	return req, true
+	return req, g, respBinary, true
 }
 
 // planVariant dispatches a planner variant name through the session.
@@ -214,7 +253,7 @@ func (s *Server) solvePlan(sess *run.Session, req *request, g *dag.Graph) (any, 
 	if err != nil {
 		return nil, err
 	}
-	resp := planResponse{
+	resp := &planResponse{
 		Scheme:               plan.Scheme,
 		Arch:                 cfg.Name,
 		PEs:                  plan.Iter.PEs,
@@ -256,7 +295,7 @@ func (s *Server) solveSimulate(sess *run.Session, req *request, g *dag.Graph) (a
 	if err != nil {
 		return nil, err
 	}
-	return simulateResponse{
+	return &simulateResponse{
 		Scheme:            plan.Scheme,
 		Arch:              cfg.Name,
 		Iterations:        stats.Iterations,
@@ -301,7 +340,7 @@ func (s *Server) solveSelectArch(sess *run.Session, req *request, g *dag.Graph) 
 			TotalTime:    c.TotalTime,
 		}
 	}
-	resp := selectArchResponse{Best: toResult(best)}
+	resp := &selectArchResponse{Best: toResult(best)}
 	for _, c := range ranking {
 		resp.Ranking = append(resp.Ranking, toResult(c))
 	}

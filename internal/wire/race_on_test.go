@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on its own, so AllocsPerRun gates are
+// skipped under -race.
+const raceEnabled = true

@@ -44,6 +44,7 @@ go test -race ./...
 
 echo "== fuzz smoke"
 go test -run='^$' -fuzz='^FuzzDAGCodecRoundTrip$' -fuzztime=10s ./internal/dag/
+go test -run='^$' -fuzz='^FuzzBinaryCodecRoundTrip$' -fuzztime=10s ./internal/dag/
 go test -run='^$' -fuzz='^FuzzSynthGenerate$' -fuzztime=10s ./internal/synth/
 go test -run='^$' -fuzz='^FuzzKnapsackEquivalence$' -fuzztime=10s ./internal/core/
 
