@@ -7,6 +7,7 @@
 //	paraconvd [-addr HOST:PORT] [-workers N] [-queue N]
 //	          [-drain-timeout D] [-request-timeout D] [-max-body N]
 //	          [-max-nodes N] [-max-edges N] [-cache-bound N]
+//	          [-trace-sample N] [-trace-slow D] [-slo-interval D]
 //	          [-loglevel LEVEL] [-metrics]
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, POST /v1/selectarch
@@ -15,6 +16,15 @@
 // always JSON — see DESIGN.md "Wire format"), GET /healthz,
 // GET /readyz, and the obs debug endpoints /metrics, /metrics.json
 // and /debug/pprof/ on the same listener.
+//
+// -trace-sample N traces one request in N (1 = every request; 0, the
+// default, disables tracing).  Traced requests echo their id in the
+// X-Paraconv-Trace response header; completed traces land in a fixed
+// ring served at /debug/traces (JSON) and /debug/traces/{id}/chrome
+// (Chrome trace-event export).  -trace-slow additionally keeps every
+// request at least that slow, whatever the sampling counter says.
+// /debug/slo reports the burn-rate status of the standard SLOs
+// (sampled every -slo-interval).
 //
 // An -addr without a host (":8080") binds loopback; serving beyond
 // the machine requires an explicit interface ("0.0.0.0:8080").
@@ -48,6 +58,9 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 20000, "maximum graph vertices accepted from the network")
 	maxEdges := flag.Int("max-edges", 200000, "maximum graph edges accepted from the network")
 	cacheBound := flag.Int("cache-bound", 0, "plan-cache entry bound (0 = default)")
+	traceSample := flag.Int("trace-sample", 0, "trace one request in N (1 = all, 0 = tracing off)")
+	traceSlow := flag.Duration("trace-slow", 0, "also keep a trace of any request at least this slow (0 = off)")
+	sloInterval := flag.Duration("slo-interval", 0, "burn-rate evaluator sampling cadence (0 = default 5s)")
 	logLevel := flag.String("loglevel", "info", "structured-log level: debug, info, warn, error")
 	metrics := flag.Bool("metrics", true, "record runtime metrics (disable to measure the uninstrumented path)")
 	flag.Parse()
@@ -67,6 +80,9 @@ func main() {
 		MaxGraphNodes:  *maxNodes,
 		MaxGraphEdges:  *maxEdges,
 		CacheBound:     *cacheBound,
+		TraceSample:    *traceSample,
+		TraceSlow:      *traceSlow,
+		SLOInterval:    *sloInterval,
 	})
 	running, err := s.Start(*addr)
 	if err != nil {

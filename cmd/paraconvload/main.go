@@ -9,7 +9,12 @@
 //	paraconvload [-addr HOST:PORT] [-workers N] [-duration D] [-n N]
 //	             [-endpoint plan|simulate|selectarch] [-variant V]
 //	             [-codec json|binary|mixed]
-//	             [-pes N] [-iters N] [-timeout-ms N] [-seed N]
+//	             [-pes N] [-iters N] [-timeout-ms N] [-seed N] [-slo]
+//
+// With -slo, the run ends by fetching the daemon's /debug/slo report
+// and printing each objective's burn-rate status; the process exits 1
+// if any objective is breached (or the report cannot be fetched),
+// making a load run a CI-gateable SLO check.
 //
 // The graph mix comes from internal/synth: three deterministic size
 // classes (small/medium/large layered DAGs, three seeds each), chosen
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/obs/slo"
 	"repro/internal/synth"
 	"repro/internal/wire"
 )
@@ -100,6 +106,7 @@ func main() {
 	iters := flag.Int("iters", 100, "iterations per request")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request solve deadline to send (0 = server default)")
 	seed := flag.Int64("seed", 1, "base seed for the graph mix and per-worker choice")
+	sloGate := flag.Bool("slo", false, "after the run, fetch /debug/slo and exit 1 if any objective is breached")
 	flag.Parse()
 
 	switch *endpoint {
@@ -192,6 +199,52 @@ func main() {
 	elapsed := time.Since(start)
 
 	report(os.Stdout, results, elapsed)
+
+	if *sloGate {
+		if !checkSLO(os.Stdout, client, *addr) {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkSLO fetches the daemon's /debug/slo report, prints each
+// objective's worst-window burn, and reports whether every objective
+// held.  A report that cannot be fetched or parsed fails the gate: a
+// daemon that cannot account for its SLOs does not get a pass.
+func checkSLO(w io.Writer, client *http.Client, addr string) bool {
+	url := fmt.Sprintf("http://%s/debug/slo", addr)
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintf(w, "\nslo: fetching %s: %v\n", url, err)
+		return false
+	}
+	defer resp.Body.Close()
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		fmt.Fprintf(w, "\nslo: decoding report: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(w, "\nslo report (%d objectives):\n", len(rep.Objectives))
+	for _, o := range rep.Objectives {
+		verdict := "ok"
+		if o.Breached {
+			verdict = "BREACHED"
+		}
+		worst := 0.0
+		for _, ws := range o.Windows {
+			if ws.Burn > worst {
+				worst = ws.Burn
+			}
+		}
+		fmt.Fprintf(w, "  %-22s %-8s budget %.3g, worst-window burn %.2fx\n",
+			o.Name, verdict, o.Budget, worst)
+	}
+	if !rep.Healthy {
+		fmt.Fprintln(w, "slo: BREACH — error budget burning too fast")
+		return false
+	}
+	fmt.Fprintln(w, "slo: all objectives ok")
+	return true
 }
 
 // buildBodies pre-serializes one request body per (size class, seed,

@@ -105,6 +105,11 @@ func AllPasses() []Pass {
 			Run:  runLockSafe,
 		},
 		{
+			Name: "spanctx",
+			Doc:  "span.Start results that are discarded or never ended; every started span must reach End",
+			Run:  runSpanCtx,
+		},
+		{
 			Name: "allocinloop",
 			Doc:  "per-iteration allocation patterns (Sprintf, string concat, uncapacitated append) in hot-path package loops",
 			Run:  runAllocInLoop,

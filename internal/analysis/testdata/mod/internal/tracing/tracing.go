@@ -1,0 +1,77 @@
+// Package tracing exercises the spanctx rule: spans must be held and
+// ended, not dropped on the floor.
+package tracing
+
+import (
+	"context"
+
+	"vettest/internal/obs/span"
+)
+
+// Pipeline holds a span across a request's lifetime; field stores
+// move ownership and are not the pass's business.
+type Pipeline struct {
+	root span.Span
+}
+
+// Dropped discards the started span outright.
+func Dropped(ctx context.Context) {
+	span.Start(ctx, "dropped") // want spanctx
+}
+
+// Blanked throws the span away through the blank identifier.
+func Blanked(ctx context.Context) {
+	_ = span.Start(ctx, "blanked") // want spanctx
+}
+
+// DeferredStart runs Start at function exit and discards the result —
+// the defer idiom belongs on End, not Start.
+func DeferredStart(ctx context.Context) {
+	defer span.Start(ctx, "late") // want spanctx
+}
+
+// NeverEnded starts a span into a local that no End ever touches.
+func NeverEnded(ctx context.Context) {
+	sp := span.Start(ctx, "leaky") // want spanctx
+	_ = sp
+}
+
+// DeferEnded is the canonical shape: start, defer End.
+func DeferEnded(ctx context.Context) {
+	sp := span.Start(ctx, "ok")
+	defer sp.End()
+}
+
+// MidEnded closes the span explicitly before the function returns.
+func MidEnded(ctx context.Context) int {
+	sp := span.Start(ctx, "phase")
+	n := 1 + 1
+	sp.End()
+	return n
+}
+
+// ClosureEnded ends the span inside a deferred closure, the request
+// handler's idiom when End shares a defer with other teardown.
+func ClosureEnded(ctx context.Context) {
+	sp := span.Start(ctx, "teardown")
+	defer func() {
+		sp.End()
+	}()
+}
+
+// Handed returns the span to the caller; ownership moved, the caller
+// is on the hook for End.
+func Handed(ctx context.Context) span.Span {
+	return span.Start(ctx, "handed")
+}
+
+// Stored parks the span in a field for a later Finish path.
+func (p *Pipeline) Stored(ctx context.Context) {
+	p.root = span.Start(ctx, "request")
+}
+
+// VarDeclared uses a var declaration instead of :=; same rule.
+func VarDeclared(ctx context.Context) {
+	var sp = span.Start(ctx, "vardecl") // want spanctx
+	_ = sp
+}

@@ -233,7 +233,9 @@ func RunPerf(ctx context.Context, short bool) (*PerfReport, error) {
 // measureDaemon drives a live loopback paraconvd at full tilt with one
 // client goroutine per core and reports sustained requests/second on
 // the plan endpoint, once per codec: server/plan_req is the binary
-// wire format, server/plan_req_json the JSON envelope.  The request
+// wire format, server/plan_req_json the JSON envelope, and
+// server/plan_req_traced the binary codec with 1-in-1 span tracing (a
+// third server, measured last — see below).  The request
 // repeats, so after the first solve the serving path (decode, cache
 // hit, encode) is what's measured — the solver itself has its own
 // records.  Both rows use the same lean persistent HTTP/1.1 client, so
@@ -283,6 +285,27 @@ func measureDaemon(ctx context.Context, target time.Duration) ([]PerfRecord, err
 		rec.Name = c.name
 		records = append(records, rec)
 	}
+
+	// server/plan_req_traced repeats the binary-codec row against a
+	// daemon tracing every request (sample 1-in-1), bounding what full
+	// span coverage costs on the serving path.  It must run after the
+	// untraced rows: creating a tracing server flips the process-wide
+	// span gate on, and the gate never flips back (see server.New), so
+	// measuring in the other order would tax the untraced rows with
+	// context lookups they do not pay in a production untraced daemon.
+	traced := server.New(server.Config{TraceSample: 1})
+	trn, err := traced.Start("127.0.0.1:0")
+	if err != nil {
+		traced.Close()
+		return fail(err)
+	}
+	defer trn.Drain(5 * time.Second)
+	rec, err := driveDaemon(ctx, target, trn.Addr(), rawPlanRequest(trn.Addr(), wire.ContentTypeBinary, binBody))
+	if err != nil {
+		return fail(fmt.Errorf("server/plan_req_traced: %w", err))
+	}
+	rec.Name = "server/plan_req_traced"
+	records = append(records, rec)
 	return records, nil
 }
 

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs/span"
+	"repro/internal/pim"
+	"repro/internal/run"
+	"repro/internal/synth"
+)
+
+// benchmarkTracedPlanAndSim is benchmarkPlanAndSim with a per-iteration
+// trace on the context, so every pipeline span (fingerprint, cache,
+// singleflight, objective, retime, knapsack, sim) records.
+func benchmarkTracedPlanAndSim(b *testing.B) {
+	b.Helper()
+	g, err := synth.Generate(synth.Params{Vertices: 40, Edges: 90, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pim.Neurocube(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := span.NewContext(context.Background(), span.New())
+		r := NewRunner(run.NewWithCacheBound(ctx, 0), 1)
+		if _, _, err := r.simCell(g, cfg, planParaCONV, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineTraceOn / BenchmarkPipelineTraceOff bound the cost
+// of full span coverage on the end-to-end plan+simulate path; the
+// acceptance bar is On within 5% of Off.  Off restores the untraced
+// lane (gate off, no trace on the context), the state every request
+// is in when -trace-sample is 0.
+func BenchmarkPipelineTraceOn(b *testing.B) {
+	span.SetEnabled(true)
+	defer span.SetEnabled(false)
+	benchmarkTracedPlanAndSim(b)
+}
+
+func BenchmarkPipelineTraceOff(b *testing.B) {
+	span.SetEnabled(false)
+	benchmarkPlanAndSim(b)
+}
+
+// TestUntracedPipelineDoesNotAlloc pins the disabled lane's cost to
+// literally nothing: with the gate off, span.Start on a span-free
+// context must not allocate.  (The span package's own tests pin the
+// gate-off fast path; this covers the bench fixture's composed path.)
+func TestUntracedPipelineDoesNotAlloc(t *testing.T) {
+	span.SetEnabled(false)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := span.Start(ctx, "bench.noop")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span.Start allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/dag"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
@@ -164,7 +165,9 @@ func OptimizeInto(ctx context.Context, dst *Allocation, g *dag.Graph, classes []
 		sc.chosen = make([]bool, len(items))
 	}
 	chosen := sc.chosen[:len(items)]
+	dpSpan := span.Start(ctx, "core.knapsack")
 	profit, err := KnapsackInto(ctx, chosen, items, capacity)
+	dpSpan.End()
 	if err != nil {
 		return err
 	}

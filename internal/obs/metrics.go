@@ -55,6 +55,12 @@ var (
 	RunnerQueueWait    = Default().Timer("paraconv_runner_queue_wait_seconds", "time a parallel job waited for a free worker")
 )
 
+// Request tracing (internal/obs/span, wired in internal/server).
+var (
+	TraceSampled = Default().Counter("paraconv_trace_sampled_total", "request traces admitted to the ring by the 1-in-N sampler")
+	TraceSlow    = Default().Counter("paraconv_trace_slow_total", "request traces admitted to the ring by the slow-request lane alone")
+)
+
 // ServerRequests returns the request counter for one service endpoint
 // ("plan", "simulate", "selectarch") and status class ("2xx", "4xx",
 // "429", "499", "504", "5xx") — both label sets are small and fixed.

@@ -313,6 +313,57 @@ func (r *Registry) Timer(name, help string, labels ...Label) *Timer {
 	return &Timer{h: r.Histogram(name, help, DurationBuckets, labels...)}
 }
 
+// Unregister removes the instrument with the given identity from the
+// registry, reporting whether it was present.  Existing handles to the
+// instrument keep recording but no longer export — the hook tests use
+// to retire scratch instruments from a shared registry.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	_, labelKey := canonLabels(labels)
+	key := name + "\x00" + labelKey
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in, ok := r.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(r.byKey, key)
+	for i, other := range r.list {
+		if other == in {
+			r.list = append(r.list[:i], r.list[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Reset zeroes every registered instrument's recorded values, keeping
+// the registrations (names, helps, bucket layouts) intact.  Tests use
+// it to isolate assertions against the shared Default registry; the
+// SLO evaluator clamps deltas at zero so a mid-window Reset reads as
+// no traffic, never as negative traffic.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	list := append([]*instrument(nil), r.list...)
+	r.mu.Unlock()
+	for _, in := range list {
+		switch in.kind {
+		case KindCounter:
+			in.counter.v.Store(0)
+		case KindGauge:
+			in.gauge.v.Store(0)
+		case KindHistogram:
+			h := in.hist
+			h.mu.Lock()
+			for i := range h.counts {
+				h.counts[i] = 0
+			}
+			h.sum = 0
+			h.count = 0
+			h.mu.Unlock()
+		}
+	}
+}
+
 // instruments returns a stable copy of the registered instruments,
 // sorted by name then label key — the export order of both formats.
 func (r *Registry) instruments() []*instrument {

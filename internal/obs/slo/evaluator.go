@@ -1,0 +1,128 @@
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sample is one timestamped registry snapshot in the evaluator's ring.
+type sample struct {
+	at   time.Time
+	snap obs.Snapshot
+}
+
+// Evaluator periodically snapshots a registry and scores objectives
+// against the history.  It is safe for concurrent use: the sampling
+// loop, the /debug/slo handler, and tests may all call into it at
+// once.
+type Evaluator struct {
+	reg        *obs.Registry
+	objectives []Objective
+	interval   time.Duration
+
+	mu      sync.Mutex
+	samples []sample // oldest first; bounded by maxSamples
+	maxSam  int
+}
+
+// DefaultInterval is the evaluator's default sampling cadence.
+const DefaultInterval = 5 * time.Second
+
+// NewEvaluator builds an evaluator over reg with the given objectives.
+// interval <= 0 selects DefaultInterval.  The sample ring is sized to
+// cover the longest objective window at the chosen cadence.
+func NewEvaluator(reg *obs.Registry, objectives []Objective, interval time.Duration) *Evaluator {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	longest := time.Duration(0)
+	for _, o := range objectives {
+		for _, w := range o.Windows {
+			if w.Duration > longest {
+				longest = w.Duration
+			}
+		}
+	}
+	maxSam := int(longest/interval) + 2
+	if maxSam < 2 {
+		maxSam = 2
+	}
+	e := &Evaluator{reg: reg, objectives: objectives, interval: interval, maxSam: maxSam}
+	e.Sample() // seed the history so the first report has a baseline
+	return e
+}
+
+// Interval returns the sampling cadence.
+func (e *Evaluator) Interval() time.Duration { return e.interval }
+
+// Objectives returns the objective set (shared; callers must not
+// mutate).
+func (e *Evaluator) Objectives() []Objective { return e.objectives }
+
+// Sample appends a snapshot of the registry to the history, evicting
+// the oldest sample beyond the ring bound.
+func (e *Evaluator) Sample() {
+	s := sample{at: time.Now(), snap: e.reg.Snapshot()}
+	e.mu.Lock()
+	e.samples = append(e.samples, s)
+	if len(e.samples) > e.maxSam {
+		e.samples = append(e.samples[:0], e.samples[len(e.samples)-e.maxSam:]...)
+	}
+	e.mu.Unlock()
+}
+
+// Run samples on the evaluator's cadence until stop closes.  The
+// daemon owns the goroutine; tests drive Sample directly.
+func (e *Evaluator) Run(stop <-chan struct{}) {
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.Sample()
+		}
+	}
+}
+
+// Report evaluates every objective against a fresh snapshot taken now.
+// Taking the "now" point on demand (rather than waiting for the next
+// tick) makes short-lived runs — the CI smoke, the load gate — see
+// their own traffic immediately.
+func (e *Evaluator) Report() Report {
+	now := sample{at: time.Now(), snap: e.reg.Snapshot()}
+	e.mu.Lock()
+	history := append([]sample(nil), e.samples...)
+	e.mu.Unlock()
+
+	// at returns the sample closest to (now - d) without being newer,
+	// falling back to the oldest sample for windows longer than the
+	// history (the clamp Report's ActualWindow exposes).
+	at := func(d time.Duration) (sample, bool) {
+		if len(history) == 0 {
+			return sample{}, false
+		}
+		cutoff := now.at.Add(-d)
+		best := history[0]
+		for _, s := range history {
+			if s.at.After(cutoff) {
+				break
+			}
+			best = s
+		}
+		return best, true
+	}
+
+	rep := Report{At: now.at, Objectives: make([]ObjectiveStatus, len(e.objectives)), Healthy: true}
+	for i, o := range e.objectives {
+		st := o.evaluate(now, at)
+		rep.Objectives[i] = st
+		if st.Breached {
+			rep.Healthy = false
+		}
+	}
+	return rep
+}

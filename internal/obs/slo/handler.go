@@ -1,0 +1,24 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves GET /debug/slo: the evaluator's current Report as
+// indented JSON.  Like the other debug endpoints it is read-only and
+// belongs on a loopback listener.
+func Handler(e *Evaluator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := e.Report()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !rep.Healthy {
+			// Breached objectives surface in the status code too, so a
+			// curl-level gate needs no JSON parsing.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}

@@ -1,0 +1,182 @@
+// Package slo turns service-level objectives into code: each Objective
+// names a bad-event and a total-event series over the obs registry,
+// an error budget (the tolerated bad/total ratio), and a set of
+// burn-rate windows.  An Evaluator samples registry snapshots on a
+// fixed cadence and, on demand, reports each objective's burn rate —
+// the observed bad ratio divided by the budget — over every window
+// (the SRE multi-window formulation: a fast window catches cliffs, a
+// slow window catches smolder, and an alert needs both).
+//
+// The engine consumes obs.Snapshot deltas rather than live
+// instruments, so the same math serves the daemon's /debug/slo
+// endpoint, the load generator's -slo gate, and unit tests feeding a
+// private registry.
+package slo
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Selector names one event stream inside a snapshot: a counter family
+// or a histogram, narrowed by a label subset and — for histograms —
+// optionally restricted to samples above a bucket bound.
+type Selector struct {
+	// Metric is the instrument name (e.g. "paraconv_server_requests_total").
+	Metric string `json:"metric"`
+	// Labels must all match; series are summed over any labels not
+	// listed here, so {"endpoint":"plan"} aggregates across status
+	// classes.  nil matches every series of the family.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Above, for histogram metrics, counts only samples strictly above
+	// this bucket bound (the bad-event reading of a latency objective).
+	// Zero counts every sample.
+	Above float64 `json:"above,omitempty"`
+}
+
+// matches reports whether the selector's label subset is satisfied.
+func (s Selector) matches(labels map[string]string) bool {
+	for k, want := range s.Labels {
+		if labels[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// value sums the selector's event count over one snapshot.
+func (s Selector) value(snap *obs.Snapshot) float64 {
+	total := 0.0
+	for _, c := range snap.Counters {
+		if c.Name == s.Metric && s.matches(c.Labels) {
+			total += float64(c.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != s.Metric || !s.matches(h.Labels) {
+			continue
+		}
+		if s.Above > 0 {
+			total += float64(h.CountAbove(s.Above))
+		} else {
+			total += float64(h.Count)
+		}
+	}
+	return total
+}
+
+// sumSelectors sums a selector set over one snapshot.
+func sumSelectors(sels []Selector, snap *obs.Snapshot) float64 {
+	total := 0.0
+	for _, s := range sels {
+		total += s.value(snap)
+	}
+	return total
+}
+
+// Window is one burn-rate evaluation horizon.
+type Window struct {
+	// Name labels the window in reports ("fast", "slow").
+	Name string `json:"name"`
+	// Duration is the lookback horizon.  With less history than this
+	// the window clamps to what the sample ring holds.
+	Duration time.Duration `json:"duration_ns"`
+	// MaxBurn is the burn-rate threshold: burning means consuming the
+	// error budget more than MaxBurn times faster than the objective
+	// tolerates over a full compliance period.
+	MaxBurn float64 `json:"max_burn"`
+}
+
+// Objective is one SLO: a tolerated bad/total ratio over named event
+// streams, watched across burn-rate windows.
+type Objective struct {
+	// Name is the objective's stable slug ("plan_latency_p99_5ms").
+	Name string `json:"name"`
+	// Description says what the objective promises, for humans.
+	Description string `json:"description"`
+	// Bad and Total define the ratio; both are summed selector sets.
+	Bad   []Selector `json:"bad"`
+	Total []Selector `json:"total"`
+	// Budget is the tolerated bad/total ratio (0.01 = 99% objective).
+	Budget float64 `json:"budget"`
+	// Windows are the burn-rate horizons.  An objective is breached
+	// when every window that has data is burning (the multi-window AND:
+	// fast alone is noise, slow alone is stale).
+	Windows []Window `json:"windows"`
+}
+
+// WindowStatus is one window's evaluation inside a report.
+type WindowStatus struct {
+	Name string `json:"name"`
+	// Requested and Actual are the configured horizon and the history
+	// actually available (short runs clamp to the oldest sample).
+	Requested time.Duration `json:"requested_ns"`
+	Actual    time.Duration `json:"actual_ns"`
+	Bad       float64       `json:"bad"`
+	Total     float64       `json:"total"`
+	// Ratio is bad/total (0 with no traffic); Burn is Ratio/Budget.
+	Ratio   float64 `json:"ratio"`
+	Burn    float64 `json:"burn"`
+	MaxBurn float64 `json:"max_burn"`
+	// Burning means Burn exceeds MaxBurn; HasData means the window saw
+	// any total events.
+	Burning bool `json:"burning"`
+	HasData bool `json:"has_data"`
+}
+
+// ObjectiveStatus is one objective's evaluation inside a report.
+type ObjectiveStatus struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	Budget      float64        `json:"budget"`
+	Windows     []WindowStatus `json:"windows"`
+	// Breached means every window with data is burning.
+	Breached bool `json:"breached"`
+}
+
+// Report is one point-in-time evaluation of every objective.
+type Report struct {
+	At         time.Time         `json:"at"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+	// Healthy means no objective is breached.
+	Healthy bool `json:"healthy"`
+}
+
+// evaluate scores one objective given the newest snapshot and a
+// lookup for the snapshot at a window's start.
+func (o Objective) evaluate(now sample, at func(time.Duration) (sample, bool)) ObjectiveStatus {
+	st := ObjectiveStatus{
+		Name:        o.Name,
+		Description: o.Description,
+		Budget:      o.Budget,
+		Windows:     make([]WindowStatus, len(o.Windows)),
+	}
+	burningWithData := 0
+	withData := 0
+	for i, w := range o.Windows {
+		ws := WindowStatus{Name: w.Name, Requested: w.Duration, MaxBurn: w.MaxBurn}
+		if past, ok := at(w.Duration); ok {
+			ws.Actual = now.at.Sub(past.at)
+			// Deltas clamp at zero so a registry Reset mid-window reads
+			// as no traffic rather than negative traffic.
+			ws.Bad = max(0, sumSelectors(o.Bad, &now.snap)-sumSelectors(o.Bad, &past.snap))
+			ws.Total = max(0, sumSelectors(o.Total, &now.snap)-sumSelectors(o.Total, &past.snap))
+		}
+		if ws.Total > 0 {
+			ws.HasData = true
+			ws.Ratio = ws.Bad / ws.Total
+			if o.Budget > 0 {
+				ws.Burn = ws.Ratio / o.Budget
+			}
+			ws.Burning = ws.Burn > ws.MaxBurn
+			withData++
+			if ws.Burning {
+				burningWithData++
+			}
+		}
+		st.Windows[i] = ws
+	}
+	st.Breached = withData > 0 && burningWithData == withData
+	return st
+}

@@ -1,0 +1,230 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testObjective watches bad_total against req_total with a 1% budget.
+func testObjective(windows ...Window) Objective {
+	return Objective{
+		Name:        "test_ratio",
+		Description: "99% of test requests good",
+		Bad:         []Selector{{Metric: "test_bad_total"}},
+		Total:       []Selector{{Metric: "test_req_total"}},
+		Budget:      0.01,
+		Windows:     windows,
+	}
+}
+
+func TestBurnRateFromCounterDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("test_bad_total", "bad events")
+	total := reg.Counter("test_req_total", "all events")
+
+	e := NewEvaluator(reg, []Objective{testObjective(
+		Window{Name: "tight", Duration: time.Minute, MaxBurn: 2},
+		Window{Name: "loose", Duration: time.Minute, MaxBurn: 10},
+	)}, time.Hour)
+
+	total.Add(1000)
+	bad.Add(50) // ratio 0.05 over a 0.01 budget: burn 5
+
+	rep := e.Report()
+	if len(rep.Objectives) != 1 {
+		t.Fatalf("report has %d objectives, want 1", len(rep.Objectives))
+	}
+	st := rep.Objectives[0]
+	for _, ws := range st.Windows {
+		if !ws.HasData || ws.Bad != 50 || ws.Total != 1000 {
+			t.Fatalf("window %q: bad/total = %v/%v (has_data %v), want 50/1000", ws.Name, ws.Bad, ws.Total, ws.HasData)
+		}
+		if ws.Ratio != 0.05 || ws.Burn != 5 {
+			t.Fatalf("window %q: ratio/burn = %v/%v, want 0.05/5", ws.Name, ws.Ratio, ws.Burn)
+		}
+		if ws.Actual <= 0 || ws.Actual > ws.Requested {
+			t.Errorf("window %q: actual %v outside (0, %v]", ws.Name, ws.Actual, ws.Requested)
+		}
+	}
+	if st.Windows[0].Burning != true || st.Windows[1].Burning != false {
+		t.Fatalf("burning = %v/%v, want true/false (thresholds 2 and 10)", st.Windows[0].Burning, st.Windows[1].Burning)
+	}
+	// Multi-window AND: only one window burning is not a breach.
+	if st.Breached || !rep.Healthy {
+		t.Fatal("objective breached with only the tight window burning")
+	}
+
+	bad.Add(150) // ratio 0.2: burn 20, above both thresholds
+	rep = e.Report()
+	if !rep.Objectives[0].Breached || rep.Healthy {
+		t.Fatal("objective not breached with both windows burning")
+	}
+}
+
+func TestNoTrafficIsHealthy(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("test_bad_total", "bad events")
+	reg.Counter("test_req_total", "all events")
+	e := NewEvaluator(reg, []Objective{testObjective(
+		Window{Name: "fast", Duration: time.Minute, MaxBurn: 1},
+	)}, time.Hour)
+	rep := e.Report()
+	st := rep.Objectives[0]
+	if st.Windows[0].HasData || st.Breached || !rep.Healthy {
+		t.Fatalf("idle service reported unhealthy: %+v", st)
+	}
+}
+
+func TestResetClampsDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("test_bad_total", "bad events")
+	total := reg.Counter("test_req_total", "all events")
+	total.Add(100)
+	bad.Add(100)
+	e := NewEvaluator(reg, []Objective{testObjective(
+		Window{Name: "fast", Duration: time.Minute, MaxBurn: 1},
+	)}, time.Hour)
+	reg.Reset() // counters drop below the baseline sample
+	rep := e.Report()
+	ws := rep.Objectives[0].Windows[0]
+	if ws.Bad != 0 || ws.Total != 0 || ws.HasData {
+		t.Fatalf("post-Reset window = %+v, want clamped-to-zero deltas", ws)
+	}
+	if !rep.Healthy {
+		t.Fatal("post-Reset report unhealthy")
+	}
+}
+
+func TestHistogramSelectorCountsAboveBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "latency", obs.DurationBuckets)
+	obj := Objective{
+		Name:   "latency_5ms",
+		Bad:    []Selector{{Metric: "test_latency_seconds", Above: 0.005}},
+		Total:  []Selector{{Metric: "test_latency_seconds"}},
+		Budget: 0.01,
+		Windows: []Window{
+			{Name: "fast", Duration: time.Minute, MaxBurn: 1},
+		},
+	}
+	e := NewEvaluator(reg, []Objective{obj}, time.Hour)
+	for i := 0; i < 98; i++ {
+		h.Observe(0.001) // fast
+	}
+	h.Observe(0.020) // slow
+	h.Observe(0.050) // slow
+	rep := e.Report()
+	ws := rep.Objectives[0].Windows[0]
+	if ws.Bad != 2 || ws.Total != 100 {
+		t.Fatalf("bad/total = %v/%v, want 2/100", ws.Bad, ws.Total)
+	}
+	if ws.Burn != 2 || !ws.Burning {
+		t.Fatalf("burn = %v (burning %v), want 2 burning", ws.Burn, ws.Burning)
+	}
+}
+
+func TestLabelSubsetAggregates(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, class := range []string{"2xx", "4xx", "5xx"} {
+		reg.Counter("test_requests_total", "requests",
+			obs.Label{Key: "endpoint", Value: "plan"}, obs.Label{Key: "code", Value: class}).Add(10)
+	}
+	snap := reg.Snapshot()
+	all := Selector{Metric: "test_requests_total"}
+	if got := all.value(&snap); got != 30 {
+		t.Fatalf("unrestricted selector = %v, want 30", got)
+	}
+	errs := Selector{Metric: "test_requests_total", Labels: map[string]string{"code": "5xx"}}
+	if got := errs.value(&snap); got != 10 {
+		t.Fatalf("code=5xx selector = %v, want 10", got)
+	}
+	none := Selector{Metric: "test_requests_total", Labels: map[string]string{"code": "503"}}
+	if got := none.value(&snap); got != 0 {
+		t.Fatalf("unmatched selector = %v, want 0", got)
+	}
+}
+
+func TestStandardObjectivesWellFormed(t *testing.T) {
+	objs := Standard()
+	if len(objs) != 3 {
+		t.Fatalf("Standard() has %d objectives, want 3", len(objs))
+	}
+	seen := map[string]bool{}
+	for _, o := range objs {
+		if o.Name == "" || seen[o.Name] {
+			t.Errorf("objective name %q empty or duplicated", o.Name)
+		}
+		seen[o.Name] = true
+		if o.Budget <= 0 || o.Budget >= 1 {
+			t.Errorf("%s: budget %v outside (0,1)", o.Name, o.Budget)
+		}
+		if len(o.Bad) == 0 || len(o.Total) == 0 || len(o.Windows) < 2 {
+			t.Errorf("%s: needs bad, total and >= 2 windows", o.Name)
+		}
+	}
+	// The latency objective's bound must be a real DurationBuckets
+	// bound, or CountAbove silently shifts the objective.
+	found := false
+	for _, b := range obs.DurationBuckets {
+		if b == 0.005 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("0.005 is not a DurationBuckets bound; plan_latency_5ms is miscounted")
+	}
+}
+
+// TestEvaluatorConcurrentSampleReport is the SLO half of the
+// snapshot-while-observe race gate: instrument writers, the sampling
+// loop, and report readers all run together under -race.
+func TestEvaluatorConcurrentSampleReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("test_bad_total", "bad events")
+	total := reg.Counter("test_req_total", "all events")
+	h := reg.Histogram("test_latency_seconds", "latency", obs.DurationBuckets)
+	obj := testObjective(Window{Name: "fast", Duration: time.Second, MaxBurn: 100})
+	e := NewEvaluator(reg, []Objective{obj}, time.Millisecond)
+
+	stop := make(chan struct{})
+	var loopWG sync.WaitGroup
+	loopWG.Add(1)
+	go func() {
+		defer loopWG.Done()
+		e.Run(stop)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				total.Inc()
+				if i%100 == 0 {
+					bad.Inc()
+				}
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep := e.Report()
+				if len(rep.Objectives) != 1 {
+					t.Errorf("report lost its objective: %+v", rep)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	loopWG.Wait()
+}

@@ -1,0 +1,61 @@
+package slo
+
+import "time"
+
+// Standard returns the daemon's objective set — the SLOs paraconvd
+// promises and scripts/ci.sh gates on:
+//
+//   - plan latency: at most 1% of /v1/plan requests slower than 5ms
+//     end-to-end (0.005 is a DurationBuckets bound, so the bad-event
+//     count is exact);
+//   - shed rate: fewer than 1% of requests rejected 429 by admission
+//     control;
+//   - error rate: fewer than 0.1% of requests answered 5xx.
+//
+// Each objective watches a fast window (cliffs: a deploy that tanks
+// latency shows up within a minute) and a slow window (smolder: a few
+// bad seconds must not page).  Burn thresholds follow the SRE
+// multiwindow convention, scaled down to windows that fit a daemon
+// run rather than a 30-day compliance period.
+func Standard() []Objective {
+	windows := []Window{
+		{Name: "fast", Duration: time.Minute, MaxBurn: 14.4},
+		{Name: "slow", Duration: 5 * time.Minute, MaxBurn: 6},
+	}
+	return []Objective{
+		{
+			Name:        "plan_latency_5ms",
+			Description: "99% of /v1/plan requests complete within 5ms end-to-end",
+			Bad: []Selector{{
+				Metric: "paraconv_server_request_seconds",
+				Labels: map[string]string{"endpoint": "plan"},
+				Above:  0.005,
+			}},
+			Total: []Selector{{
+				Metric: "paraconv_server_request_seconds",
+				Labels: map[string]string{"endpoint": "plan"},
+			}},
+			Budget:  0.01,
+			Windows: windows,
+		},
+		{
+			Name:        "shed_rate_1pct",
+			Description: "99% of requests admitted (not shed 429 by the admission queue)",
+			Bad:         []Selector{{Metric: "paraconv_server_shed_total"}},
+			Total:       []Selector{{Metric: "paraconv_server_requests_total"}},
+			Budget:      0.01,
+			Windows:     windows,
+		},
+		{
+			Name:        "error_rate_0_1pct",
+			Description: "99.9% of requests answered without a 5xx",
+			Bad: []Selector{{
+				Metric: "paraconv_server_requests_total",
+				Labels: map[string]string{"code": "5xx"},
+			}},
+			Total:   []Selector{{Metric: "paraconv_server_requests_total"}},
+			Budget:  0.001,
+			Windows: windows,
+		},
+	}
+}

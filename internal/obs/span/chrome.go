@@ -1,0 +1,56 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent mirrors internal/trace's Chrome trace-event schema — a
+// "complete" (X) duration event on a (pid, tid) track — so a served
+// request and a simulated PE timeline open in the same viewer.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int            `json:"ts"`  // microseconds since the trace began
+	Dur  int            `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace as a Chrome trace-event JSON document.
+// Every span lands on one (pid 1, tid 1) track; the viewer nests the
+// complete events by time containment, which matches the parent
+// indices by construction (a child starts after and ends before its
+// parent).  Spans still open at export time get a 1µs sliver so they
+// stay visible.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Export()
+	events := make([]chromeEvent, 0, len(spans))
+	for i, sp := range spans {
+		ts := int(sp.Start.Microseconds())
+		dur := int((sp.End - sp.Start).Microseconds())
+		if sp.End == 0 || dur < 1 {
+			dur = 1 // zero-width and still-open spans vanish in the viewer
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Cat: "span", Ph: "X",
+			Ts: ts, Dur: dur,
+			PID: 1, TID: 1,
+			Args: map[string]any{"trace": t.id.String(), "index": i, "parent": sp.Parent},
+		})
+	}
+	doc := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("span: encoding chrome trace: %w", err)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,157 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// chromeDoc mirrors the exported document with pointer fields so the
+// test can tell "absent" from "zero" — the same structural-validation
+// idiom internal/trace's golden test uses.
+type chromeDoc struct {
+	TraceEvents     []chromeDocEvent `json:"traceEvents"`
+	DisplayTimeUnit *string          `json:"displayTimeUnit"`
+}
+
+type chromeDocEvent struct {
+	Name *string        `json:"name"`
+	Cat  *string        `json:"cat"`
+	Ph   *string        `json:"ph"`
+	Ts   *int           `json:"ts"`
+	Dur  *int           `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	withTracing(t)
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	names := []string{"server.plan", "run.cache", "sched.retime", "sched.knapsack"}
+	root := Start(ctx, names[0])
+	for _, n := range names[1:] {
+		sp := Start(ctx, n)
+		time.Sleep(100 * time.Microsecond) // give spans visible width
+		sp.End()
+	}
+	open := Start(ctx, "server.encode") // left open deliberately
+	_ = open
+	root.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeDoc
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("exported document does not decode: %v", err)
+	}
+	if doc.DisplayTimeUnit == nil || *doc.DisplayTimeUnit != "ms" {
+		t.Error("displayTimeUnit missing or not \"ms\"")
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("document holds %d events, want 5", len(doc.TraceEvents))
+	}
+	id := tr.ID().String()
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || ev.Cat == nil || ev.Ph == nil || ev.Ts == nil ||
+			ev.Dur == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %d is missing required fields: %+v", i, ev)
+		}
+		if *ev.Ph != "X" || *ev.Cat != "span" {
+			t.Errorf("event %d: ph/cat = %q/%q, want X/span", i, *ev.Ph, *ev.Cat)
+		}
+		if *ev.Dur < 1 {
+			t.Errorf("event %d: dur = %d, want >= 1 (open spans get a sliver)", i, *ev.Dur)
+		}
+		if got, _ := ev.Args["trace"].(string); got != id {
+			t.Errorf("event %d: args.trace = %q, want %q", i, got, id)
+		}
+	}
+	if got := *doc.TraceEvents[0].Name; got != "server.plan" {
+		t.Errorf("first event is %q, want the root span", got)
+	}
+	// Parent attribution survives the export: every non-root event's
+	// args.parent indexes an earlier event.
+	for i, ev := range doc.TraceEvents {
+		parent, ok := ev.Args["parent"].(float64)
+		if !ok {
+			t.Fatalf("event %d: args.parent missing", i)
+		}
+		if int(parent) >= i {
+			t.Errorf("event %d: parent %d does not precede it", i, int(parent))
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	withTracing(t)
+	ring := NewRing(8)
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	sp := Start(ctx, "server.simulate")
+	inner := Start(ctx, "sim.run")
+	inner.End()
+	sp.End()
+	tr.Finish()
+	ring.Add(tr)
+
+	h := Handler(ring)
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.Bytes()
+	}
+
+	code, body := get("/debug/traces")
+	if code != 200 {
+		t.Fatalf("GET /debug/traces: status %d", code)
+	}
+	var list []TraceSummary
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("listing does not decode: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != tr.ID().String() || list[0].Root != "server.simulate" {
+		t.Fatalf("listing = %+v, want one trace rooted at server.simulate", list)
+	}
+	if len(list[0].Names) != 2 || list[0].Names[1] != "sim.run" {
+		t.Fatalf("listing names = %v, want [server.simulate sim.run]", list[0].Names)
+	}
+
+	code, body = get("/debug/traces/" + tr.ID().String())
+	if code != 200 {
+		t.Fatalf("GET trace detail: status %d", code)
+	}
+	var det TraceDetail
+	if err := json.Unmarshal(body, &det); err != nil {
+		t.Fatalf("detail does not decode: %v", err)
+	}
+	if len(det.Spans) != 2 || det.Spans[1].Parent != 0 {
+		t.Fatalf("detail spans = %+v, want child parented to root", det.Spans)
+	}
+
+	code, body = get("/debug/traces/" + tr.ID().String() + "/chrome")
+	if code != 200 {
+		t.Fatalf("GET chrome export: status %d", code)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(body, &doc); err != nil || len(doc.TraceEvents) != 2 {
+		t.Fatalf("chrome export invalid (err %v, %d events)", err, len(doc.TraceEvents))
+	}
+
+	if code, _ := get("/debug/traces/ffffffffffffffffffffffffffffffff"); code != 404 {
+		t.Fatalf("absent trace: status %d, want 404", code)
+	}
+	if code, _ := get("/debug/traces/" + tr.ID().String() + "/bogus"); code != 400 {
+		t.Fatalf("unknown format: status %d, want 400", code)
+	}
+}

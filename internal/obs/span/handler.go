@@ -1,0 +1,102 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TraceSummary is one trace in the /debug/traces listing.
+type TraceSummary struct {
+	ID string `json:"id"`
+	// Root is the first span's name (the request's endpoint).
+	Root      string    `json:"root"`
+	Started   time.Time `json:"started"`
+	Duration  int64     `json:"duration_ns"`
+	SpanCount int       `json:"spans"`
+	// Names lists every span name in record order, so a consumer can
+	// pick a trace covering the stages it cares about without a second
+	// request.
+	Names []string `json:"names"`
+}
+
+// TraceDetail is one full trace in JSON form.
+type TraceDetail struct {
+	ID       string    `json:"id"`
+	Started  time.Time `json:"started"`
+	Duration int64     `json:"duration_ns"`
+	Spans    []Record  `json:"spans"`
+}
+
+func summarize(tr *Trace) TraceSummary {
+	spans := tr.Export()
+	s := TraceSummary{
+		ID:        tr.ID().String(),
+		Started:   tr.Started(),
+		Duration:  int64(tr.Duration()),
+		SpanCount: len(spans),
+		Names:     make([]string, len(spans)),
+	}
+	if len(spans) > 0 {
+		s.Root = spans[0].Name
+	}
+	for i := range spans {
+		s.Names[i] = spans[i].Name
+	}
+	return s
+}
+
+func detail(tr *Trace) TraceDetail {
+	return TraceDetail{
+		ID:       tr.ID().String(),
+		Started:  tr.Started(),
+		Duration: int64(tr.Duration()),
+		Spans:    tr.Export(),
+	}
+}
+
+// Handler serves the ring's traces:
+//
+//	GET /debug/traces              JSON listing, newest first
+//	GET /debug/traces/{id}         one trace's spans as JSON
+//	GET /debug/traces/{id}/chrome  the same trace as a Chrome
+//	                               trace-event document
+//
+// The handler is read-only and unauthenticated; like the obs debug
+// endpoints it belongs on a loopback listener.
+func Handler(ring *Ring) http.Handler {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/debug/traces"), "/")
+		if rest == "" {
+			traces := ring.Snapshot()
+			out := make([]TraceSummary, len(traces))
+			for i, tr := range traces {
+				out[i] = summarize(tr)
+			}
+			writeJSON(w, out)
+			return
+		}
+		id, format, _ := strings.Cut(rest, "/")
+		tr := ring.Get(id)
+		if tr == nil {
+			http.Error(w, `{"error":"no such trace","kind":"not_found"}`, http.StatusNotFound)
+			return
+		}
+		switch format {
+		case "":
+			writeJSON(w, detail(tr))
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			tr.WriteChrome(w)
+		default:
+			http.Error(w, `{"error":"unknown trace format","kind":"bad_request"}`, http.StatusBadRequest)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package span
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ringStripes is the ring's lock-stripe count: admissions hash by
+// trace id across independent mutexes so concurrent request
+// completions do not serialize on one lock.
+const ringStripes = 8
+
+// Ring is a fixed-size lock-striped buffer of completed traces: the
+// storage behind /debug/traces.  Admission overwrites the stripe's
+// oldest entry; the ring never grows and never blocks a request.
+type Ring struct {
+	seq     atomic.Uint64 // global admission counter, for newest-first ordering
+	stripes [ringStripes]ringStripe
+}
+
+type ringStripe struct {
+	mu   sync.Mutex
+	buf  []ringEntry // fixed capacity; zero slots not yet filled
+	next int         // next slot to overwrite
+}
+
+// ringEntry pairs a trace with its global admission sequence (1-based;
+// 0 marks an empty slot).
+type ringEntry struct {
+	tr  *Trace
+	seq uint64
+}
+
+// NewRing returns a ring holding at most capacity completed traces
+// (rounded up to the stripe count; minimum one per stripe).
+func NewRing(capacity int) *Ring {
+	per := (capacity + ringStripes - 1) / ringStripes
+	if per < 1 {
+		per = 1
+	}
+	r := &Ring{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]ringEntry, per)
+	}
+	return r
+}
+
+// Add admits a completed trace, evicting the stripe's oldest entry
+// when full.
+func (r *Ring) Add(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	s := &r.stripes[tr.id.Lo%ringStripes]
+	s.mu.Lock()
+	s.buf[s.next] = ringEntry{tr: tr, seq: seq}
+	s.next = (s.next + 1) % len(s.buf)
+	s.mu.Unlock()
+}
+
+// Snapshot returns the resident traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	var entries []ringEntry
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, e := range s.buf {
+			if e.tr != nil {
+				entries = append(entries, e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Newest first: higher global admission sequence wins.  Insertion
+	// sort keeps this dependency-free; rings are small (debug-sized).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].seq < entries[j].seq; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	out := make([]*Trace, len(entries))
+	for i, e := range entries {
+		out[i] = e.tr
+	}
+	return out
+}
+
+// Get returns the resident trace with the given hex id, or nil.
+func (r *Ring) Get(id string) *Trace {
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, e := range s.buf {
+			if e.tr != nil && e.tr.id.String() == id {
+				s.mu.Unlock()
+				return e.tr
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Len returns the resident trace count.
+func (r *Ring) Len() int {
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, e := range s.buf {
+			if e.tr != nil {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package span
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestRingAddEvictsOldest(t *testing.T) {
+	r := NewRing(ringStripes) // one slot per stripe
+	var traces []*Trace
+	for i := 0; i < 4*ringStripes; i++ {
+		tr := New()
+		// Pin the stripe assignment: random ids land unevenly, and with
+		// one slot per stripe an unlucky draw leaves a stripe empty —
+		// this test is about eviction order, not hash spread.
+		tr.id.Lo = uint64(i)
+		tr.Finish()
+		r.Add(tr)
+		traces = append(traces, tr)
+	}
+	if n := r.Len(); n != ringStripes {
+		t.Fatalf("ring holds %d traces, want %d", n, ringStripes)
+	}
+	// Every resident trace must be one of the admitted ones, and the
+	// very first admission must have been evicted from its stripe.
+	resident := make(map[ID]bool)
+	for _, tr := range r.Snapshot() {
+		resident[tr.ID()] = true
+	}
+	if resident[traces[0].ID()] {
+		t.Error("oldest admission still resident after 4x overwrite")
+	}
+	if !resident[traces[len(traces)-1].ID()] {
+		t.Error("newest admission missing from ring")
+	}
+}
+
+func TestRingSnapshotNewestFirst(t *testing.T) {
+	r := NewRing(64)
+	var last *Trace
+	for i := 0; i < 16; i++ {
+		last = New()
+		last.Finish()
+		r.Add(last)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot holds %d traces, want 16", len(snap))
+	}
+	if snap[0] != last {
+		t.Error("snapshot[0] is not the newest admission")
+	}
+}
+
+func TestRingGet(t *testing.T) {
+	r := NewRing(8)
+	tr := New()
+	tr.Finish()
+	r.Add(tr)
+	if got := r.Get(tr.ID().String()); got != tr {
+		t.Fatalf("Get(%q) = %v, want the admitted trace", tr.ID(), got)
+	}
+	if got := r.Get("00000000000000000000000000000000"); got != nil {
+		t.Fatalf("Get(absent id) = %v, want nil", got)
+	}
+	r.Add(nil) // must not panic or admit
+	if n := r.Len(); n != 1 {
+		t.Fatalf("ring holds %d traces after nil Add, want 1", n)
+	}
+}
+
+// TestRingConcurrentSnapshotWhileAdd is the snapshot-while-observe race
+// gate: writers admit finished traces and append late spans while
+// readers snapshot, list, and export concurrently.  Run under -race.
+func TestRingConcurrentSnapshotWhileAdd(t *testing.T) {
+	withTracing(t)
+	r := NewRing(32)
+	const writers, readers, perWriter = 4, 4, 200
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := New()
+				ctx := NewContext(context.Background(), tr)
+				root := Start(ctx, "server.plan")
+				child := Start(ctx, "run.cache")
+				child.End()
+				r.Add(tr) // admit before the trace is finished...
+				root.End()
+				tr.Finish() // ...so readers race with late spans
+			}
+		}()
+	}
+	for rd := 0; rd < readers; rd++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.Snapshot() {
+					spans := tr.Export()
+					for _, sp := range spans {
+						if sp.Parent >= len(spans) {
+							t.Errorf("span parent %d out of range %d", sp.Parent, len(spans))
+							return
+						}
+					}
+					_ = summarize(tr)
+					_ = tr.ID().String()
+				}
+				r.Len()
+			}
+		}()
+	}
+	// Readers keep racing until every writer is done, then drain.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if n := r.Len(); n != 32 {
+		t.Fatalf("ring holds %d traces after churn, want full capacity 32", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -97,20 +98,30 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 		// Let the planner produce its own nil-graph error.
 		return solve(s.ctx)
 	}
+	fpSpan := span.Start(s.ctx, "run.fingerprint")
 	key := cacheKey{
 		graph:   GraphFingerprint(g),
 		config:  ConfigFingerprint(cfg),
 		variant: variant,
 		extra:   extra,
 	}
-	if p, ok := s.cache.get(key); ok {
+	fpSpan.End()
+	lookupSpan := span.Start(s.ctx, "run.cache")
+	p, ok := s.cache.get(key)
+	lookupSpan.End()
+	if ok {
 		obs.Log().Debug("plan cache hit", "variant", variant, "graph", key.graph)
 		return p, nil
 	}
 	// Miss: collapse concurrent solves of the same problem into one
 	// (singleflight) — under the concurrent server, a burst of
 	// identical requests otherwise all reach this point before the
-	// first solve can populate the cache.
+	// first solve can populate the cache.  The span covers leadership
+	// and follower waits alike: a trace showing a wide run.singleflight
+	// with no solve stages below it is a request that rode someone
+	// else's solve.
+	flightSpan := span.Start(s.ctx, "run.singleflight")
+	defer flightSpan.End()
 	return s.cache.doFlight(s.ctx, key, func() (*sched.Plan, error) {
 		// Double-check under flight leadership: a solve finishing
 		// between our miss and our registration has already stored

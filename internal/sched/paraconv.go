@@ -9,6 +9,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/retime"
 )
@@ -257,7 +258,9 @@ func ParaCONVCtx(ctx context.Context, g *dag.Graph, cfg pim.Config) (*Plan, erro
 	}
 	sc := planPool.Get().(*planScratch)
 	defer planPool.Put(sc)
+	groupSpan := span.Start(ctx, "sched.groups")
 	groups, err := chooseGroups(ctx, sc, g, cfg.NumPEs)
+	groupSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +326,9 @@ func ParaCONVGivenScheduleCtx(ctx context.Context, g *dag.Graph, iter IterationS
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
 	}
+	retimeSpan := span.Start(ctx, "sched.retime")
 	res, err := retime.Apply(g, classes, alloc.Assignment, tm.Period)
+	retimeSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv retime: %w", err)
 	}
@@ -372,6 +377,7 @@ func paraCONVKernel(ctx context.Context, sc *planScratch, g *dag.Graph, cfg pim.
 
 	// Objective schedule on the group (the pooled form of Objective;
 	// the callers have already validated g and cfg).
+	objSpan := span.Start(ctx, "sched.objective")
 	n := g.NumNodes()
 	order, err := g.TopoSortInto(sc.order)
 	sc.order = order
@@ -392,6 +398,7 @@ func paraCONVKernel(ctx context.Context, sc *planScratch, g *dag.Graph, cfg pim.
 		objAssign[i] = pim.InEDRAM
 	}
 	iter := IterationSchedule{Graph: g, PEs: groupPEs, Period: period, Tasks: tasks, Assignment: objAssign}
+	objSpan.End()
 	if err := checkSchedule(&iter, 0, 0); err != nil {
 		return nil, fmt.Errorf("sched: para-conv objective: %w", fmt.Errorf("sched: objective: %w", err))
 	}
@@ -414,7 +421,10 @@ func paraCONVKernel(ctx context.Context, sc *planScratch, g *dag.Graph, cfg pim.
 	if err := core.OptimizeInto(ctx, &sc.alloc, g, classes, tm, capacity); err != nil {
 		return nil, fmt.Errorf("sched: para-conv allocate: %w", err)
 	}
-	if err := retime.ApplyInto(&sc.res, g, classes, sc.alloc.Assignment, tm.Period, order); err != nil {
+	retimeSpan := span.Start(ctx, "sched.retime")
+	err = retime.ApplyInto(&sc.res, g, classes, sc.alloc.Assignment, tm.Period, order)
+	retimeSpan.End()
+	if err != nil {
 		return nil, fmt.Errorf("sched: para-conv retime: %w", err)
 	}
 	if err := retime.CheckLegal(g, sc.res); err != nil {

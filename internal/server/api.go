@@ -113,9 +113,16 @@ func writeResponse(w http.ResponseWriter, status int, v any, binary bool) {
 	writeJSON(w, status, v)
 }
 
-// writeError sends a structured JSON error.
+// writeError sends a structured JSON error.  When the writer is the
+// request's statusRecorder and a trace was sampled, the body carries
+// the trace id so the client can name the exact request when filing
+// the failure.
 func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
+	resp := errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind}
+	if sr, ok := w.(*statusRecorder); ok {
+		resp.TraceID = sr.traceID
+	}
+	writeJSON(w, status, resp)
 }
 
 // requestCodec classifies the request body's media type: JSON (the

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/run"
 	"repro/internal/sched"
@@ -22,10 +23,13 @@ import (
 type solveFunc func(sess *run.Session, req *request, g *dag.Graph) (any, error)
 
 // statusRecorder captures the status written to a ResponseWriter so
-// the request counter can label by outcome class.
+// the request counter can label by outcome class, and carries the
+// request's trace id (when one was sampled) down to writeError so
+// every structured error body names the trace that explains it.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status  int
+	traceID string
 }
 
 func (sr *statusRecorder) WriteHeader(status int) {
@@ -40,12 +44,42 @@ func (sr *statusRecorder) WriteHeader(status int) {
 func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, fn solveFunc) {
 	stop := obs.ServerRequestTimer(endpoint).Start()
 	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	// When tracing is on, EVERY request carries a trace (starting a
+	// span is two atomic ops and a locked append); the sampler decides
+	// at the end which finished traces the ring keeps, so a request
+	// that only turned out slow is never lost to the 1-in-N counter.
+	var tr *span.Trace
+	var root span.Span
+	sampled := false
+	if s.sampler.Tracing() {
+		tr = span.New()
+		sampled = s.sampler.Sampled()
+		sr.traceID = tr.ID().String()
+		sr.Header().Set("X-Paraconv-Trace", sr.traceID)
+		r = r.WithContext(span.NewContext(r.Context(), tr))
+		root = span.Start(r.Context(), "server."+endpoint)
+	}
 	defer func() {
 		stop()
 		obs.ServerRequests(endpoint, statusClass(sr.status)).Inc()
+		if tr == nil {
+			return
+		}
+		root.End()
+		if d := tr.Finish(); s.sampler.Admit(sampled, d) {
+			if sampled {
+				obs.TraceSampled.Inc()
+			} else {
+				obs.TraceSlow.Inc()
+			}
+			s.ring.Add(tr)
+		}
 	}()
 
+	decodeSpan := span.Start(r.Context(), "server.decode")
 	req, g, respBinary, ok := s.decodeRequest(sr, r)
+	decodeSpan.End()
 	if !ok {
 		return
 	}
@@ -81,6 +115,8 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint string, 
 	}
 	if !s.pool.trySubmit(job) {
 		obs.ServerShed.Inc()
+		obs.Log().Warn("request shed", "endpoint", endpoint,
+			"queue_depth", s.cfg.QueueDepth, "trace_id", sr.traceID)
 		sr.Header().Set("Retry-After", "1")
 		writeError(sr, http.StatusTooManyRequests, "shed", "admission queue full (%d deep); retry later", s.cfg.QueueDepth)
 		return

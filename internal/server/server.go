@@ -31,10 +31,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
 	"repro/internal/run"
 )
 
@@ -60,6 +63,24 @@ type Config struct {
 	// CacheBound is the shared plan cache's entry bound (default
 	// run.DefaultCacheBound).
 	CacheBound int
+	// TraceSample turns on request tracing at a 1-in-N sampling rate
+	// (1 traces everything, 0 — the default — disables tracing
+	// entirely and keeps the serving path's zero-alloc no-op spans).
+	TraceSample int
+	// TraceSlow, when tracing is on, admits any request at least this
+	// slow to the trace ring regardless of the sampling counter, so a
+	// tail-latency outlier is never lost to the modulus (default 0:
+	// slow lane off).
+	TraceSlow time.Duration
+	// TraceRingSize caps the completed traces resident at
+	// /debug/traces (default 256).
+	TraceRingSize int
+	// SLOObjectives is the objective set evaluated at /debug/slo
+	// (default slo.Standard()).
+	SLOObjectives []slo.Objective
+	// SLOInterval is the burn-rate evaluator's sampling cadence
+	// (default slo.DefaultInterval).
+	SLOInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +108,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheBound == 0 {
 		c.CacheBound = run.DefaultCacheBound
 	}
+	if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 256
+	}
+	if c.SLOObjectives == nil {
+		c.SLOObjectives = slo.Standard()
+	}
 	return c
 }
 
@@ -98,6 +128,9 @@ type Server struct {
 	pool     *pool
 	mux      *http.ServeMux
 	draining atomic.Bool
+	sampler  *span.Sampler
+	ring     *span.Ring
+	sloEval  *slo.Evaluator
 }
 
 // New builds a Server from cfg.  Close (or Running.Drain) must be
@@ -108,6 +141,15 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		session: run.NewWithCacheBound(context.Background(), cfg.CacheBound),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		sampler: &span.Sampler{Every: cfg.TraceSample, Slow: cfg.TraceSlow},
+		ring:    span.NewRing(cfg.TraceRingSize),
+		sloEval: slo.NewEvaluator(obs.Default(), cfg.SLOObjectives, cfg.SLOInterval),
+	}
+	if s.sampler.Tracing() {
+		// The gate is global and one-way here: another live server with
+		// tracing off still serves zero-alloc no-op spans for its own
+		// requests (they carry no trace), so never flip it back off.
+		span.SetEnabled(true)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
@@ -138,9 +180,17 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /metrics.json", debug)
 	mux.Handle("GET /debug/pprof/", debug)
+	traces := span.Handler(s.ring)
+	mux.Handle("GET /debug/traces", traces)
+	mux.Handle("GET /debug/traces/", traces)
+	mux.Handle("GET /debug/slo", slo.Handler(s.sloEval))
 	s.mux = mux
 	return s
 }
+
+// SLOReport evaluates the server's objectives now (what /debug/slo
+// serves, for embedding callers and tests).
+func (s *Server) SLOReport() slo.Report { return s.sloEval.Report() }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -154,9 +204,11 @@ func (s *Server) Close() { s.pool.close() }
 
 // Running is a listening planning server.
 type Running struct {
-	s   *Server
-	ln  net.Listener
-	srv *http.Server
+	s       *Server
+	ln      net.Listener
+	srv     *http.Server
+	sloStop chan struct{}
+	stop    sync.Once
 }
 
 // Start listens on addr and serves s until Drain.  Like the obs debug
@@ -188,7 +240,11 @@ func (s *Server) Start(addr string) (*Running, error) {
 			obs.Log().Warn("planning server stopped", "err", err)
 		}
 	}()
-	return &Running{s: s, ln: ln, srv: srv}, nil
+	// The burn-rate evaluator samples for as long as the daemon
+	// listens; Drain closes sloStop before the pool goes down.
+	sloStop := make(chan struct{})
+	go s.sloEval.Run(sloStop)
+	return &Running{s: s, ln: ln, srv: srv, sloStop: sloStop}, nil
 }
 
 // Addr returns the bound address (with the real port when the request
@@ -202,6 +258,7 @@ func (r *Running) Addr() string { return r.ln.Addr().String() }
 // timeout expired and remaining connections were cut.
 func (r *Running) Drain(timeout time.Duration) error {
 	r.s.draining.Store(true)
+	r.stop.Do(func() { close(r.sloStop) })
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	err := r.srv.Shutdown(ctx)

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
+)
+
+// get fetches a path from the test server and returns status + body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestTracedRequestRoundTrips is the end-to-end trace gate: a real
+// /v1/simulate request (a cache miss, so every pipeline stage runs)
+// must produce a ring-resident trace whose span names cover the
+// server, cache, singleflight, retime, knapsack and sim stages, and
+// that trace must round-trip through the Chrome exporter.
+func TestTracedRequestRoundTrips(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSample: 1})
+
+	resp, _ := post(t, ts, "/v1/simulate", map[string]any{"graph": testGraphText, "pes": 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Paraconv-Trace")
+	if len(id) != 32 {
+		t.Fatalf("X-Paraconv-Trace = %q, want 32 hex chars", id)
+	}
+
+	code, body := get(t, ts.URL+"/debug/traces/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace %s: status %d, body %s", id, code, body)
+	}
+	var detail span.TraceDetail
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatalf("trace detail does not decode: %v", err)
+	}
+	joined := ""
+	for _, sp := range detail.Spans {
+		joined += sp.Name + "\n"
+		if sp.End < sp.Start {
+			t.Errorf("span %q ends before it starts", sp.Name)
+		}
+	}
+	for _, stage := range []string{"server", "cache", "singleflight", "retime", "knapsack", "sim"} {
+		if !strings.Contains(joined, stage) {
+			t.Errorf("trace is missing a %q stage span; got:\n%s", stage, joined)
+		}
+	}
+	if len(detail.Spans) < 6 {
+		t.Fatalf("trace has %d spans, want >= 6:\n%s", len(detail.Spans), joined)
+	}
+	if detail.Spans[0].Name != "server.simulate" || detail.Spans[0].Parent != -1 {
+		t.Errorf("root span = %+v, want server.simulate with parent -1", detail.Spans[0])
+	}
+
+	// The same trace as a Chrome trace-event document.
+	code, body = get(t, ts.URL+"/debug/traces/"+id+"/chrome")
+	if code != http.StatusOK {
+		t.Fatalf("GET chrome export: status %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  int    `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("chrome export does not decode: %v", err)
+	}
+	if len(doc.TraceEvents) != len(detail.Spans) {
+		t.Fatalf("chrome export has %d events for %d spans", len(doc.TraceEvents), len(detail.Spans))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 1 {
+			t.Errorf("event %+v: want ph X and dur >= 1", ev)
+		}
+	}
+
+	// The listing names the spans so a consumer can pick its trace.
+	code, body = get(t, ts.URL+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d", code)
+	}
+	var list []span.TraceSummary
+	if err := json.Unmarshal(body, &list); err != nil || len(list) == 0 {
+		t.Fatalf("trace listing invalid (err %v, %d entries)", err, len(list))
+	}
+}
+
+// TestTraceIDInErrorBody: a failed request's structured error carries
+// the trace id that explains it.
+func TestTraceIDInErrorBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSample: 1})
+	resp, data := post(t, ts, "/v1/plan", map[string]any{
+		"graph": testGraphText, "pes": 4, "variant": "bogus",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	e := decodeError(t, data)
+	if e.TraceID == "" || e.TraceID != resp.Header.Get("X-Paraconv-Trace") {
+		t.Fatalf("error trace_id %q does not match header %q", e.TraceID, resp.Header.Get("X-Paraconv-Trace"))
+	}
+}
+
+// TestUntracedServerSendsNoTraceHeader: with sampling off (the
+// default), no header, no trace ring entries, no error trace ids.
+func TestUntracedServerSendsNoTraceHeader(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts, "/v1/plan", map[string]any{"graph": testGraphText, "pes": 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Paraconv-Trace"); h != "" {
+		t.Fatalf("untraced server sent X-Paraconv-Trace %q", h)
+	}
+	if n := s.ring.Len(); n != 0 {
+		t.Fatalf("untraced server admitted %d traces", n)
+	}
+	code, body := get(t, ts.URL+"/debug/traces")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("GET /debug/traces = %d %q, want empty list", code, body)
+	}
+}
+
+// TestSLOEndpointHealthyUnderLightLoad drives a few successful
+// requests and expects /debug/slo to report every objective ok.
+func TestSLOEndpointHealthyUnderLightLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 5; i++ {
+		resp, _ := post(t, ts, "/v1/plan", map[string]any{"graph": testGraphText, "pes": 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan %d: status %d", i, resp.StatusCode)
+		}
+	}
+	code, body := get(t, ts.URL+"/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/slo: status %d, body %s", code, body)
+	}
+	var rep slo.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("slo report does not decode: %v", err)
+	}
+	if len(rep.Objectives) != len(slo.Standard()) {
+		t.Fatalf("report has %d objectives, want %d", len(rep.Objectives), len(slo.Standard()))
+	}
+	for _, o := range rep.Objectives {
+		if o.Breached {
+			t.Errorf("objective %s breached under healthy load: %+v", o.Name, o)
+		}
+	}
+}
+
+// TestSLOEvaluatorStopsOnDrain: the sampling goroutine started by
+// Start must exit when Drain runs (goroutine-leak hygiene; the -race
+// runs catch a loop that outlives its server).
+func TestSLOEvaluatorStopsOnDrain(t *testing.T) {
+	s := New(Config{SLOInterval: time.Millisecond})
+	running, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the loop tick
+	if err := running.Drain(time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Drain twice is harmless (stopOnce guards the channel close).
+	if err := running.Drain(time.Second); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

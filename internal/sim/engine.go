@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dag"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/sched"
 )
@@ -122,6 +123,8 @@ func TraceRun(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, 
 //
 //paraconv:hotpath
 func TraceRunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, *Trace, error) {
+	sp := span.Start(ctx, "sim.trace_run")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return Stats{}, nil, fmt.Errorf("sim: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/dag"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/pim"
 	"repro/internal/sched"
 )
@@ -90,6 +91,8 @@ func Run(plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
 // long stretch is the per-edge legality sweep, which checks ctx at
 // edge boundaries and returns its error when cancelled.
 func RunCtx(ctx context.Context, plan *sched.Plan, cfg pim.Config, iterations int) (Stats, error) {
+	sp := span.Start(ctx, "sim.run")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return Stats{}, fmt.Errorf("sim: %w", err)
 	}

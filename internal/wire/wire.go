@@ -109,4 +109,8 @@ type ErrorResponse struct {
 	// graph_too_large, too_large, unsupported_media_type, unplannable,
 	// timeout, canceled, shed or internal.
 	Kind string `json:"kind"`
+	// TraceID is the request's trace id when the server sampled a
+	// trace for it — quote it when reporting a failure and the
+	// operator can pull the exact request from /debug/traces.
+	TraceID string `json:"trace_id,omitempty"`
 }

@@ -65,7 +65,7 @@ scripts/bench.sh --short --compare-only --no-gate
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
 tmpdir=$(mktemp -d)
-trap 'for p in "${http_pid:-}" "${pd_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
+trap 'for p in "${http_pid:-}" "${pd_pid:-}" "${slo_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/benchtab" ./cmd/benchtab
 "$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
 "$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
@@ -182,5 +182,77 @@ if ! grep -q "drained cleanly" "$tmpdir/pd.err"; then
     cat "$tmpdir/pd.err" >&2
     exit 1
 fi
+
+echo "== trace + SLO smoke"
+# A tracing daemon (-trace-sample 1) must hand every request a trace id,
+# serve the full span tree for a cache-miss simulate request (all six
+# pipeline stages), export it as a Chrome trace-event document, and
+# hold the standard SLOs under a short paraconvload run gated by -slo.
+"$tmpdir/paraconvd" -addr 127.0.0.1:0 -trace-sample 1 2> "$tmpdir/slo.err" &
+slo_pid=$!
+slo_addr=""
+for _ in $(seq 1 100); do
+    if grep -q "listening on" "$tmpdir/slo.err"; then
+        slo_addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmpdir/slo.err" | head -n1)
+        break
+    fi
+    if ! kill -0 "$slo_pid" 2>/dev/null; then
+        echo "tracing paraconvd exited early:" >&2
+        cat "$tmpdir/slo.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$slo_addr" ]]; then
+    echo "tracing paraconvd never reported its address:" >&2
+    cat "$tmpdir/slo.err" >&2
+    exit 1
+fi
+# The FIRST simulate request is the trace fixture: a cache miss runs
+# every stage (plan requests never run sim; cache hits skip the solver).
+curl -fsS -D "$tmpdir/trace_hdrs.txt" -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$tmpdir/plan_body.json" \
+    "http://$slo_addr/v1/simulate" > /dev/null
+trace_id=$(tr -d '\r' < "$tmpdir/trace_hdrs.txt" | sed -n 's/^[Xx]-[Pp]araconv-[Tt]race: *//p' | head -n1)
+if [[ ! "$trace_id" =~ ^[0-9a-f]{32}$ ]]; then
+    echo "simulate response carried no X-Paraconv-Trace id (got '$trace_id'):" >&2
+    cat "$tmpdir/trace_hdrs.txt" >&2
+    exit 1
+fi
+curl -fsS "http://$slo_addr/debug/traces/$trace_id" > "$tmpdir/trace.json"
+python3 - "$tmpdir/trace.json" <<'PYEOF'
+import json, sys
+detail = json.load(open(sys.argv[1]))
+names = "\n".join(s["name"] for s in detail["spans"])
+for stage in ("server", "cache", "singleflight", "retime", "knapsack", "sim"):
+    assert stage in names, f"trace is missing a {stage} span:\n{names}"
+assert len(detail["spans"]) >= 6, names
+PYEOF
+curl -fsS "http://$slo_addr/debug/traces/$trace_id/chrome" > "$tmpdir/trace_chrome.json"
+python3 - "$tmpdir/trace_chrome.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert len(events) >= 6, events
+assert all(e["ph"] == "X" and e["dur"] >= 1 for e in events), events
+PYEOF
+go build -o "$tmpdir/paraconvload" ./cmd/paraconvload
+if ! "$tmpdir/paraconvload" -addr "$slo_addr" -workers 4 -duration 2s -slo \
+    > "$tmpdir/slo_load.out"; then
+    echo "paraconvload -slo reported an SLO breach:" >&2
+    cat "$tmpdir/slo_load.out" >&2
+    exit 1
+fi
+grep -q "slo: all objectives ok" "$tmpdir/slo_load.out" || {
+    echo "paraconvload -slo did not print the all-ok verdict:" >&2
+    cat "$tmpdir/slo_load.out" >&2
+    exit 1
+}
+# /debug/slo answers 200 only while healthy (503 on breach), so -f is
+# the whole gate.
+curl -fsS "http://$slo_addr/debug/slo" | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["healthy"], r'
+kill -TERM "$slo_pid"
+wait "$slo_pid" || { echo "tracing paraconvd did not drain cleanly" >&2; exit 1; }
+slo_pid=""
 
 echo "CI gate passed."
