@@ -7,15 +7,26 @@
 //	paraconvd [-addr HOST:PORT] [-workers N] [-queue N]
 //	          [-drain-timeout D] [-request-timeout D] [-max-body N]
 //	          [-max-nodes N] [-max-edges N] [-cache-bound N]
+//	          [-data-dir DIR] [-store-max-bytes N]
+//	          [-job-workers N] [-job-queue N] [-job-ttl D]
 //	          [-trace-sample N] [-trace-slow D] [-slo-interval D]
 //	          [-loglevel LEVEL] [-metrics]
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, POST /v1/selectarch
 // (JSON by default, or the binary wire format negotiated per request
 // via Content-Type/Accept with application/x-paraconv-bin; errors are
-// always JSON — see DESIGN.md "Wire format"), GET /healthz,
-// GET /readyz, and the obs debug endpoints /metrics, /metrics.json
-// and /debug/pprof/ on the same listener.
+// always JSON — see DESIGN.md "Wire format"), the async job API
+// POST /v1/jobs[/{op}], GET /v1/jobs/{id}[?wait=D] and
+// DELETE /v1/jobs/{id} (JSON only), GET /healthz, GET /readyz, and the
+// obs debug endpoints /metrics, /metrics.json and /debug/pprof/ on the
+// same listener.
+//
+// -data-dir enables the durable content-addressed plan store: solved
+// plans are written through to fingerprint-named files under DIR, and
+// a restarted daemon pointed at the same DIR serves previously solved
+// graphs without re-running the solver (see DESIGN.md "Async jobs &
+// durable store").  -store-max-bytes bounds the directory; least
+// recently used entries are evicted past it.
 //
 // -trace-sample N traces one request in N (1 = every request; 0, the
 // default, disables tracing).  Traced requests echo their id in the
@@ -44,6 +55,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +70,11 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 20000, "maximum graph vertices accepted from the network")
 	maxEdges := flag.Int("max-edges", 200000, "maximum graph edges accepted from the network")
 	cacheBound := flag.Int("cache-bound", 0, "plan-cache entry bound (0 = default)")
+	dataDir := flag.String("data-dir", "", "durable plan-store directory (empty = no durable store)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "plan-store payload byte bound, LRU-evicted past it (0 = unbounded)")
+	jobWorkers := flag.Int("job-workers", 0, "async job workers (0 = solve-pool worker count)")
+	jobQueue := flag.Int("job-queue", 256, "async job queue depth; submissions beyond it are shed with 429")
+	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "how long finished async jobs stay pollable")
 	traceSample := flag.Int("trace-sample", 0, "trace one request in N (1 = all, 0 = tracing off)")
 	traceSlow := flag.Duration("trace-slow", 0, "also keep a trace of any request at least this slow (0 = off)")
 	sloInterval := flag.Duration("slo-interval", 0, "burn-rate evaluator sampling cadence (0 = default 5s)")
@@ -72,7 +89,7 @@ func main() {
 	obs.SetLogger(obs.SetupLogging(os.Stderr, lvl, false))
 	obs.SetEnabled(*metrics)
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		MaxBodyBytes:   *maxBody,
@@ -80,10 +97,22 @@ func main() {
 		MaxGraphNodes:  *maxNodes,
 		MaxGraphEdges:  *maxEdges,
 		CacheBound:     *cacheBound,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTTL:         *jobTTL,
 		TraceSample:    *traceSample,
 		TraceSlow:      *traceSlow,
 		SLOInterval:    *sloInterval,
-	})
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{MaxBytes: *storeMaxBytes})
+		if err != nil {
+			log.Fatalf("opening plan store: %v", err)
+		}
+		log.Printf("plan store %s (%d entries, %d payload bytes)", st.Dir(), st.Len(), st.Stats().Bytes)
+		cfg.Store = st
+	}
+	s := server.New(cfg)
 	running, err := s.Start(*addr)
 	if err != nil {
 		log.Fatal(err)

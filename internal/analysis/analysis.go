@@ -90,6 +90,11 @@ func AllPasses() []Pass {
 			Run:  runHTTPServe,
 		},
 		{
+			Name: "fsio",
+			Doc:  "direct filesystem writes (os.Create, os.WriteFile, os.Rename) outside internal/store; durable state goes through the store's atomic writer",
+			Run:  runFSIO,
+		},
+		{
 			Name: "poolhygiene",
 			Doc:  "sync.Pool misuse: Get without a type assertion, Put without reset evidence, or pooled values escaping the get/put scope",
 			Run:  runPoolHygiene,

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fsioPackageSuffixes are the package trees allowed to create, rewrite
+// or rename files directly.  Durable state belongs to internal/store,
+// whose writes are atomic (temp file + fsync + rename) and CRC-framed;
+// an os.Create or os.Rename anywhere else is a durability bug waiting
+// for a crash — a torn file the store's recovery sweep will never see.
+var fsioPackageSuffixes = []string{"/internal/store"}
+
+// bannedFSFuncs are the os functions that mutate the filesystem
+// namespace.  Reads (os.Open, os.ReadFile) and temp-file creation in
+// throwaway directories stay legal everywhere; it is the durable-write
+// verbs that must be centralised.
+var bannedFSFuncs = map[string]bool{
+	"Create":    true,
+	"WriteFile": true,
+	"Rename":    true,
+}
+
+// runFSIO flags direct filesystem writes outside the sanctioned store
+// tree.
+func runFSIO(m *Module, p *Package) []Diagnostic {
+	if pathSuffixMatch(m, p, fsioPackageSuffixes) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isBannedFSCall(p, sel) {
+				return true
+			}
+			diags = append(diags, diag(m, "fsio", call.Pos(),
+				"direct filesystem write (os.%s) outside internal/store; durable state goes through the plan store's atomic writer", sel.Sel.Name))
+			return true
+		})
+	}
+	return diags
+}
+
+// isBannedFSCall reports whether sel resolves to one of the os
+// filesystem-write functions, preferring type information and falling
+// back to the syntactic os-qualified form when type checking could not
+// resolve the callee.
+func isBannedFSCall(p *Package, sel *ast.SelectorExpr) bool {
+	if p.Info != nil {
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+			pkg := fn.Pkg()
+			return pkg != nil && pkg.Path() == "os" && bannedFSFuncs[fn.Name()]
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return id.Name == "os" && bannedFSFuncs[sel.Sel.Name]
+}

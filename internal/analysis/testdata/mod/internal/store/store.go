@@ -1,0 +1,22 @@
+// Package store is the sanctioned durable-write tree: the fsio pass
+// exempts it, so the same verbs that fswrite is flagged for are legal
+// here.
+package store
+
+import "os"
+
+// Persist writes a file the way only the store may.
+func Persist(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp") // allowed: inside internal/store
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // allowed: inside internal/store
+}

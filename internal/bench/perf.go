@@ -21,11 +21,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/jobs"
 	"repro/internal/pim"
 	"repro/internal/retime"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/wire"
 )
@@ -155,6 +157,47 @@ func perfWorkloads(ctx context.Context) ([]struct {
 		return nil, nil, fmt.Errorf("bench: perf fixture: %w", err)
 	}
 
+	// Durable-store fixtures: a solved 200-vertex plan round-trips
+	// through the stored-plan codec against a throwaway store directory.
+	// NoSync keeps fsync out of the loop — the gate watches the codec
+	// and file plumbing, not the host's disk cache behaviour.
+	planSmall, err := sched.ParaCONV(gPlan, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: perf fixture store plan: %w", err)
+	}
+	payload := wire.AppendPlan(nil, planSmall)
+	storeDir, err := os.MkdirTemp("", "paraconv-bench-store-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: perf fixture store dir: %w", err)
+	}
+	st, err := store.Open(storeDir, store.Options{NoSync: true})
+	if err != nil {
+		os.RemoveAll(storeDir)
+		return nil, nil, fmt.Errorf("bench: perf fixture store: %w", err)
+	}
+	const storeBenchKey = "bench|perfplan|neurocube-32|iters=100"
+	if err := st.Put(storeBenchKey, payload); err != nil {
+		os.RemoveAll(storeDir)
+		return nil, nil, fmt.Errorf("bench: perf fixture store put: %w", err)
+	}
+
+	// Async-engine fixture: the submit→done round trip of a no-op job,
+	// measuring the engine's queue, worker and notification plumbing
+	// with no solve cost inside.  The TTL is tiny so the hundreds of
+	// thousands of terminal jobs a measurement window produces are swept
+	// as it runs — at the production default they would all stay live
+	// and their heap would tax every workload measured after this one.
+	eng := jobs.New(jobs.Options{Workers: 2, QueueDepth: 256, TTL: 20 * time.Millisecond})
+	noop := func(context.Context) (any, error) { return nil, nil }
+
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			eng.Close()
+			os.RemoveAll(storeDir)
+		})
+	}
+
 	workloads := []struct {
 		name string
 		fn   func() error
@@ -188,8 +231,34 @@ func perfWorkloads(ctx context.Context) ([]struct {
 			_, err := sim.Run(plan, cfg, 100)
 			return err
 		}},
+		{"store/plan_encode_200", func() error {
+			wire.AppendPlan(payload[:0], planSmall)
+			return nil
+		}},
+		{"store/put_200", func() error {
+			return st.Put(storeBenchKey, payload)
+		}},
+		{"store/get_decode_200", func() error {
+			raw, ok := st.Get(storeBenchKey)
+			if !ok {
+				return fmt.Errorf("bench key missing from store")
+			}
+			_, err := wire.DecodePlan(raw, dag.Limits{})
+			return err
+		}},
+		{"jobs/submit_wait", func() error {
+			snap, err := eng.Submit("bench", 0, noop)
+			if err != nil {
+				return err
+			}
+			final, ok := eng.Wait(ctx, snap.ID, 5*time.Second)
+			if !ok || final.State != jobs.StateDone {
+				return fmt.Errorf("bench job %s = %+v/%v, want done", snap.ID, final, ok)
+			}
+			return nil
+		}},
 	}
-	return workloads, func() {}, nil
+	return workloads, cleanup, nil
 }
 
 // RunPerf measures every hot-path workload plus the daemon's request
@@ -222,6 +291,12 @@ func RunPerf(ctx context.Context, short bool) (*PerfReport, error) {
 		rec.Name = w.name
 		rep.Records = append(rep.Records, rec)
 	}
+	// Tear the fixtures down and settle the heap before the daemon
+	// rows: live fixture state (retained jobs, the store index, the
+	// 1200-vertex plan) would otherwise tax the daemon's GC cycles with
+	// work no production server pays.
+	cleanup()
+	runtime.GC()
 	daemon, err := measureDaemon(ctx, target)
 	if err != nil {
 		return nil, err

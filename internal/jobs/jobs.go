@@ -1,0 +1,421 @@
+// Package jobs is the daemon's async execution engine: submissions
+// return a job id immediately, a bounded worker pool drains a FIFO
+// queue, and clients poll (or long-poll) the job until it reaches a
+// terminal state.  The engine is deliberately generic — a job is any
+// func(ctx) (result, error) — so the server layer can run every
+// endpoint's solve path through it without the engine knowing about
+// graphs or plans.
+//
+// Lifecycle: queued → running → done | failed | cancelled.  A queued
+// job can be cancelled before a worker picks it up; a running job's
+// context is cancelled and the job lands in cancelled when its
+// function returns.  Terminal jobs are retained for Options.TTL so
+// clients can fetch results, then swept by the janitor.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Func is the work a job runs on a pool worker.  The context carries
+// the job's deadline (measured from submission, so queue wait counts
+// against it) and is cancelled when the job is.
+type Func func(ctx context.Context) (any, error)
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the queue is at depth —
+	// the async analogue of the sync path's 429 shed.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("jobs: engine closed")
+)
+
+// Options tunes one engine.  Zero values take defaults.
+type Options struct {
+	// Workers is the async pool size (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64);
+	// submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// TTL is how long a terminal job (and its result) stays
+	// retrievable (default 5m).
+	TTL time.Duration
+	// DefaultTimeout bounds a job whose submission named none;
+	// MaxTimeout caps what a submission may ask for (defaults 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.TTL <= 0 {
+		o.TTL = 5 * time.Minute
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// job is the engine's record of one submission.  All mutable fields
+// are guarded by the engine mutex; done is closed exactly once, on the
+// transition to a terminal state.
+type job struct {
+	id        string
+	op        string
+	fn        Func
+	timeout   time.Duration
+	state     State
+	result    any
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	// cancel interrupts the running function.  Only the CancelFunc is
+	// stored (the context itself stays a local of the worker, per the
+	// module's context-in-struct rule).
+	cancel    context.CancelFunc
+	cancelReq bool
+	done      chan struct{}
+}
+
+// Snapshot is a point-in-time copy of one job's externally visible
+// state.
+type Snapshot struct {
+	ID        string
+	Op        string
+	State     State
+	Result    any
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Engine runs submitted jobs on a bounded worker pool.
+type Engine struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+
+	queue       chan *job
+	wg          sync.WaitGroup
+	janitorStop chan struct{}
+}
+
+// New starts an engine: opts.Workers pool workers plus one janitor
+// sweeping expired terminal jobs.  Close stops all of them.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:        opts,
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, opts.QueueDepth),
+		janitorStop: make(chan struct{}),
+	}
+	obs.JobsQueueDepth.Set(0)
+	e.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.janitor()
+	return e
+}
+
+// newID returns a 128-bit random hex job id.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Submit queues fn under a fresh job id and returns its snapshot
+// immediately.  timeout bounds the job from submission (0 takes the
+// default; asks above MaxTimeout are capped).  The queue being full
+// fails fast with ErrQueueFull.
+func (e *Engine) Submit(op string, timeout time.Duration, fn Func) (Snapshot, error) {
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	if timeout > e.opts.MaxTimeout {
+		timeout = e.opts.MaxTimeout
+	}
+	id, err := newID()
+	if err != nil {
+		obs.JobsRejected.Inc()
+		return Snapshot{}, err
+	}
+	j := &job{
+		id:        id,
+		op:        op,
+		fn:        fn,
+		timeout:   timeout,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		obs.JobsRejected.Inc()
+		return Snapshot{}, ErrClosed
+	}
+	// The non-blocking send happens under the mutex Close also takes,
+	// so it can never race a close of the queue channel.
+	select {
+	case e.queue <- j:
+	default:
+		obs.JobsRejected.Inc()
+		return Snapshot{}, ErrQueueFull
+	}
+	e.jobs[id] = j
+	obs.JobsSubmitted.Inc()
+	obs.JobsQueueDepth.Set(int64(len(e.queue)))
+	obs.JobsRetained.Set(int64(len(e.jobs)))
+	return j.snapshotLocked(), nil
+}
+
+// snapshotLocked copies the job's visible state; the engine mutex is
+// held.
+func (j *job) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:        j.id,
+		Op:        j.op,
+		State:     j.state,
+		Result:    j.result,
+		Err:       j.err,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// Get returns the job's current snapshot.
+func (e *Engine) Get(id string) (Snapshot, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// Wait long-polls: it returns the job's snapshot as soon as it is
+// terminal, or after wait elapses (or ctx ends), whichever is first.
+// The returned snapshot is current either way; callers distinguish by
+// State.Terminal().
+func (e *Engine) Wait(ctx context.Context, id string, wait time.Duration) (Snapshot, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return Snapshot{}, false
+	}
+	done := j.done
+	e.mu.Unlock()
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	return e.Get(id)
+}
+
+// Cancel moves a queued job straight to cancelled, or interrupts a
+// running one (which lands in cancelled when its function returns).
+// Cancelling a terminal job is a no-op; the bool reports whether the
+// id was known.
+func (e *Engine) Cancel(id string) (Snapshot, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		e.finishLocked(j, StateCancelled, nil, context.Canceled)
+	case StateRunning:
+		j.cancelReq = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.snapshotLocked(), true
+}
+
+// QueueDepth returns the jobs currently waiting for a worker.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// finishLocked performs the one transition to a terminal state: state,
+// result, timestamps, done-channel close, and the per-outcome
+// instruments.  The engine mutex is held.
+func (e *Engine) finishLocked(j *job, s State, result any, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	if j.state == StateRunning {
+		obs.JobsRunning.Add(-1)
+	}
+	j.state = s
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+	close(j.done)
+	obs.JobsFinished(string(s)).Inc()
+	obs.JobTimer(j.op).Observe(j.finished.Sub(j.submitted))
+	if s == StateCancelled {
+		obs.JobsCancelled.Inc()
+	}
+}
+
+// worker drains the queue until Close closes it.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job on this worker.
+func (e *Engine) runJob(j *job) {
+	e.mu.Lock()
+	obs.JobsQueueDepth.Set(int64(len(e.queue)))
+	if j.state.Terminal() {
+		// Cancelled while queued (or the engine is closing): nothing
+		// to run.
+		e.mu.Unlock()
+		return
+	}
+	// The deadline is anchored at submission so queue wait counts
+	// against the client's budget, exactly like admission wait does on
+	// the sync path.
+	ctx, cancel := context.WithDeadline(context.Background(), j.submitted.Add(j.timeout))
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	obs.JobsQueueWait.Observe(j.started.Sub(j.submitted))
+	obs.JobsRunning.Add(1)
+	fn := j.fn
+	e.mu.Unlock()
+
+	result, err := fn(ctx)
+	cancel()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case j.cancelReq:
+		e.finishLocked(j, StateCancelled, nil, context.Canceled)
+	case err != nil:
+		e.finishLocked(j, StateFailed, nil, err)
+	default:
+		e.finishLocked(j, StateDone, result, nil)
+	}
+}
+
+// janitor sweeps terminal jobs past their retention TTL.
+func (e *Engine) janitor() {
+	defer e.wg.Done()
+	interval := e.opts.TTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.janitorStop:
+			return
+		case <-t.C:
+			e.sweep(time.Now())
+		}
+	}
+}
+
+// sweep drops terminal jobs whose retention expired before now.
+func (e *Engine) sweep(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, j := range e.jobs {
+		if j.state.Terminal() && now.Sub(j.finished) > e.opts.TTL {
+			delete(e.jobs, id)
+			obs.JobsExpired.Inc()
+		}
+	}
+	obs.JobsRetained.Set(int64(len(e.jobs)))
+}
+
+// Close stops intake, cancels every non-terminal job, and waits for
+// the workers and janitor to exit.  Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, j := range e.jobs {
+		switch j.state {
+		case StateQueued:
+			e.finishLocked(j, StateCancelled, nil, ErrClosed)
+		case StateRunning:
+			j.cancelReq = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+	close(e.queue)
+	close(e.janitorStop)
+	e.mu.Unlock()
+	e.wg.Wait()
+	obs.JobsQueueDepth.Set(0)
+	obs.JobsRunning.Set(0)
+}

@@ -34,6 +34,12 @@ type CacheStats struct {
 	// DedupHits counts misses that avoided a solve by riding another
 	// caller's in-flight solve of the same problem (singleflight).
 	DedupHits uint64
+	// StoreHits counts in-memory misses served from the durable tier
+	// (no solve ran); StoreMisses counts misses that consulted the
+	// durable tier and still had to solve.  Both stay zero with no
+	// store attached.
+	StoreHits   uint64
+	StoreMisses uint64
 	// Size is the current entry count; Bound is the capacity
 	// (0 means caching is disabled).
 	Size  int
@@ -57,6 +63,13 @@ type planCache struct {
 	misses    uint64
 	evictions uint64
 	dedupHits uint64
+
+	// store is the optional durable second tier (see store.go); the
+	// counters record its consultations.  Set once via AttachStore
+	// before traffic, read lock-free afterwards.
+	store       BlobStore
+	storeHits   uint64
+	storeMisses uint64
 
 	// flights holds the in-progress solves concurrent misses attach
 	// to (see singleflight.go).  A separate mutex so waiters never
@@ -136,11 +149,13 @@ func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		DedupHits: c.dedupHits,
-		Size:      c.ll.Len(),
-		Bound:     c.bound,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		DedupHits:   c.dedupHits,
+		StoreHits:   c.storeHits,
+		StoreMisses: c.storeMisses,
+		Size:        c.ll.Len(),
+		Bound:       c.bound,
 	}
 }

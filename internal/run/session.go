@@ -129,6 +129,18 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 		if p, ok := s.cache.peek(key); ok {
 			return p, nil
 		}
+		// Second tier: the durable store (when attached).  A hit skips
+		// the solver entirely — this is the warm-restart path — and is
+		// promoted into the in-memory cache for the next lookup.
+		if s.cache.store != nil {
+			storeSpan := span.Start(s.ctx, "run.store")
+			p, ok := s.cache.flightStore(key)
+			storeSpan.End()
+			if ok {
+				obs.Log().Debug("plan store hit", "variant", variant, "graph", key.graph)
+				return p, nil
+			}
+		}
 		stop := obs.PlanSolveTimer(variant).Start()
 		p, err := solve(s.ctx)
 		stop()
@@ -137,6 +149,9 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 		}
 		obs.Log().Debug("plan solved", "variant", variant, "graph", key.graph, "period", p.Iter.Period)
 		s.cache.put(key, p)
+		if s.cache.store != nil {
+			s.cache.storeWriteThrough(key, p)
+		}
 		return p, nil
 	})
 }

@@ -1,0 +1,87 @@
+package run
+
+import (
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// BlobStore is the durable tier behind the in-memory plan cache — in
+// production a *store.Store over the daemon's -data-dir.  Get reports
+// a miss (never an error: corruption is the store's problem to
+// quarantine); Put is best-effort write-through.
+type BlobStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
+
+// AttachStore installs st as the second cache tier behind this
+// session's plan cache: consulted inside the singleflight leader on an
+// in-memory miss, written through after every successful solve.
+// Sessions derived with WithContext share the attachment.  A nil st
+// detaches.  Attach before serving traffic — the field is read without
+// synchronization once requests flow.
+func (s *Session) AttachStore(st BlobStore) {
+	s.cache.store = st
+}
+
+// storeKey flattens a cache key into the store's string keyspace.  The
+// fields are length-free fingerprints/identifiers, so '|' cannot
+// collide across them.
+func storeKey(key cacheKey) string {
+	return key.variant + "|" + key.graph + "|" + key.config + "|" + key.extra
+}
+
+// storeLookup consults the durable tier for key.  A hit must decode
+// and re-validate before it is trusted: the frame's CRC catches disk
+// rot, but a plan written by a buggy past build is caught here, by the
+// same structural checks a fresh solve satisfies by construction.  Any
+// failure is a miss — the solver is always a correct fallback.
+func (c *planCache) storeLookup(key cacheKey) (*sched.Plan, bool) {
+	payload, ok := c.store.Get(storeKey(key))
+	if !ok {
+		return nil, false
+	}
+	p, err := wire.DecodePlan(payload, dag.Limits{})
+	if err != nil {
+		obs.Log().Warn("store entry failed to decode, falling through to solve",
+			"variant", key.variant, "graph", key.graph, "err", err)
+		return nil, false
+	}
+	if err := p.Iter.Validate(); err != nil {
+		obs.Log().Warn("store entry failed schedule validation, falling through to solve",
+			"variant", key.variant, "graph", key.graph, "err", err)
+		return nil, false
+	}
+	return p, true
+}
+
+// storeWriteThrough encodes plan and hands it to the durable tier.
+// Errors are logged and counted, never propagated: a full disk must
+// not fail the solve that just succeeded.
+func (c *planCache) storeWriteThrough(key cacheKey, plan *sched.Plan) {
+	if err := c.store.Put(storeKey(key), wire.AppendPlan(nil, plan)); err != nil {
+		obs.Log().Warn("store write-through failed",
+			"variant", key.variant, "graph", key.graph, "err", err)
+	}
+}
+
+// flightStore runs the durable-tier consultation for a flight leader:
+// lookup, counter accounting, promotion into the in-memory cache on a
+// hit.  Returns the plan or (nil, false) to proceed to the solver.
+func (c *planCache) flightStore(key cacheKey) (*sched.Plan, bool) {
+	p, ok := c.storeLookup(key)
+	c.mu.Lock()
+	if ok {
+		c.storeHits++
+	} else {
+		c.storeMisses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.put(key, p)
+	return p, true
+}

@@ -157,18 +157,36 @@ func responseBinary(r *http.Request, reqBinary bool) bool {
 	return strings.Contains(accept, wire.ContentTypeBinary)
 }
 
+// solveErrorKind classifies a solve failure into the error taxonomy
+// shared by the sync endpoints' writeSolveError and the async job
+// status body: context errors are the deadline or the client giving
+// out, a bad variant is a request error, everything else is the
+// planner rejecting the input.
+func solveErrorKind(err error) string {
+	var badVariant *badVariantError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.As(err, &badVariant):
+		return "bad_request"
+	default:
+		return "unplannable"
+	}
+}
+
 // writeSolveError maps a solve failure to a response: context errors
 // become 504/499 (the deadline or the client gave out, not the
 // server), everything else is the planner rejecting the input — the
 // graph validated, so the problem is still the client's data.
 func writeSolveError(w http.ResponseWriter, err error) {
-	var badVariant *badVariantError
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
+	switch solveErrorKind(err) {
+	case "timeout":
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired: %v", err)
-	case errors.Is(err, context.Canceled):
+	case "canceled":
 		writeError(w, statusClientClosed, "canceled", "request canceled: %v", err)
-	case errors.As(err, &badVariant):
+	case "bad_request":
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, "unplannable", "%v", err)

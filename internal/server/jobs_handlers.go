@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/wire"
+)
+
+// maxJobWait caps the long-poll a client may ask for with
+// GET /v1/jobs/{id}?wait=...; longer asks are truncated, not rejected,
+// so a client can always pass its own patience and let the server
+// bound connection hold time.
+const maxJobWait = 30 * time.Second
+
+// submitJob is POST /v1/jobs[/{op}]: decode exactly like the sync
+// path, then queue the solve on the async engine and answer 202 with
+// the job id immediately.  The solve itself — and its span tree, when
+// tracing — runs later on an async worker.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, op string, fn solveFunc) {
+	stop := obs.ServerRequestTimer("jobs").Start()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		stop()
+		obs.ServerRequests("jobs", statusClass(sr.status)).Inc()
+	}()
+
+	// Job traces are per-job, not per-submission-request: the trace is
+	// created here so the 202 can carry its id, but every span in it is
+	// opened and finished inside the job function on the async worker.
+	var tr *span.Trace
+	sampled := false
+	if s.sampler.Tracing() {
+		tr = span.New()
+		sampled = s.sampler.Sampled()
+		sr.traceID = tr.ID().String()
+		sr.Header().Set("X-Paraconv-Trace", sr.traceID)
+	}
+
+	req, g, _, ok := s.decodeRequest(sr, r)
+	if !ok {
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	job := func(ctx context.Context) (any, error) {
+		if tr != nil {
+			ctx = span.NewContext(ctx, tr)
+			root := span.Start(ctx, "jobs."+op)
+			defer func() {
+				root.End()
+				if d := tr.Finish(); s.sampler.Admit(sampled, d) {
+					if sampled {
+						obs.TraceSampled.Inc()
+					} else {
+						obs.TraceSlow.Inc()
+					}
+					s.ring.Add(tr)
+				}
+			}()
+		}
+		return fn(s.session.WithContext(ctx), req, g)
+	}
+
+	snap, err := s.jobs.Submit(op, timeout, job)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			obs.ServerShed.Inc()
+			obs.Log().Warn("async job shed", "op", op,
+				"queue_depth", s.cfg.JobQueueDepth, "trace_id", sr.traceID)
+			sr.Header().Set("Retry-After", "1")
+			writeError(sr, http.StatusTooManyRequests, "shed",
+				"async job queue full (%d deep); retry later", s.cfg.JobQueueDepth)
+		case errors.Is(err, jobs.ErrClosed):
+			writeError(sr, http.StatusServiceUnavailable, "draining", "server is draining")
+		default:
+			writeError(sr, http.StatusInternalServerError, "internal", "submitting job: %v", err)
+		}
+		return
+	}
+	writeJSON(sr, http.StatusAccepted, &wire.JobAccepted{
+		JobID:      snap.ID,
+		State:      string(snap.State),
+		QueueDepth: s.jobs.QueueDepth(),
+	})
+}
+
+// jobStatusBody maps an engine snapshot to the wire shape, reusing the
+// sync path's error taxonomy for failed/cancelled jobs.
+func jobStatusBody(snap jobs.Snapshot) *wire.JobStatus {
+	js := &wire.JobStatus{
+		JobID: snap.ID,
+		Op:    snap.Op,
+		State: string(snap.State),
+	}
+	end := time.Now()
+	if snap.State.Terminal() {
+		end = snap.Finished
+	}
+	js.ElapsedMS = float64(end.Sub(snap.Submitted)) / float64(time.Millisecond)
+	if snap.Err != nil {
+		js.Error = snap.Err.Error()
+		js.Kind = solveErrorKind(snap.Err)
+	}
+	if snap.State == jobs.StateDone {
+		js.Result = snap.Result
+	}
+	return js
+}
+
+// jobStatus is GET /v1/jobs/{id}: the job's current state, long-polled
+// when ?wait=<duration> is present (bounded by maxJobWait; the
+// response is the latest state either way).
+func (s *Server) jobStatus(w http.ResponseWriter, r *http.Request) {
+	stop := obs.ServerRequestTimer("jobs_poll").Start()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		stop()
+		obs.ServerRequests("jobs_poll", statusClass(sr.status)).Inc()
+	}()
+
+	var wait time.Duration
+	if q := r.URL.Query().Get("wait"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d < 0 {
+			writeError(sr, http.StatusBadRequest, "bad_request", "wait %q is not a duration", q)
+			return
+		}
+		if d > maxJobWait {
+			d = maxJobWait
+		}
+		wait = d
+	}
+	id := r.PathValue("id")
+	snap, ok := s.jobs.Wait(r.Context(), id, wait)
+	if !ok {
+		writeError(sr, http.StatusNotFound, "not_found", "no job %q (expired or never submitted)", id)
+		return
+	}
+	writeJSON(sr, http.StatusOK, jobStatusBody(snap))
+}
+
+// jobCancel is DELETE /v1/jobs/{id}: queued jobs land in cancelled
+// immediately, running jobs when their solve observes the dead
+// context; terminal jobs are unchanged.  The response is the job's
+// state after the cancel took effect at the engine.
+func (s *Server) jobCancel(w http.ResponseWriter, r *http.Request) {
+	stop := obs.ServerRequestTimer("jobs_poll").Start()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		stop()
+		obs.ServerRequests("jobs_poll", statusClass(sr.status)).Inc()
+	}()
+	id := r.PathValue("id")
+	snap, ok := s.jobs.Cancel(id)
+	if !ok {
+		writeError(sr, http.StatusNotFound, "not_found", "no job %q (expired or never submitted)", id)
+		return
+	}
+	writeJSON(sr, http.StatusOK, jobStatusBody(snap))
+}

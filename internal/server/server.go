@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
@@ -63,6 +64,19 @@ type Config struct {
 	// CacheBound is the shared plan cache's entry bound (default
 	// run.DefaultCacheBound).
 	CacheBound int
+	// Store, when non-nil, is attached to the shared session as the
+	// durable second cache tier (see run.AttachStore): consulted on
+	// plan-cache miss, written through on solve.  The daemon passes a
+	// *store.Store opened on its -data-dir.
+	Store run.BlobStore
+	// JobWorkers is the async job pool size (default: Workers);
+	// JobQueueDepth bounds jobs waiting for an async worker
+	// (default 256) — submissions beyond it are shed with 429.
+	JobWorkers    int
+	JobQueueDepth int
+	// JobTTL is how long a finished async job's result stays
+	// retrievable at /v1/jobs/{id} (default 5m).
+	JobTTL time.Duration
 	// TraceSample turns on request tracing at a 1-in-N sampling rate
 	// (1 traces everything, 0 — the default — disables tracing
 	// entirely and keeps the serving path's zero-alloc no-op spans).
@@ -108,6 +122,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheBound == 0 {
 		c.CacheBound = run.DefaultCacheBound
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = c.Workers
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 5 * time.Minute
+	}
 	if c.TraceSample < 0 {
 		c.TraceSample = 0
 	}
@@ -126,6 +149,7 @@ type Server struct {
 	cfg      Config
 	session  *run.Session
 	pool     *pool
+	jobs     *jobs.Engine
 	mux      *http.ServeMux
 	draining atomic.Bool
 	sampler  *span.Sampler
@@ -141,9 +165,21 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		session: run.NewWithCacheBound(context.Background(), cfg.CacheBound),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		jobs: jobs.New(jobs.Options{
+			Workers:        cfg.JobWorkers,
+			QueueDepth:     cfg.JobQueueDepth,
+			TTL:            cfg.JobTTL,
+			DefaultTimeout: cfg.DefaultTimeout,
+			MaxTimeout:     cfg.MaxTimeout,
+		}),
 		sampler: &span.Sampler{Every: cfg.TraceSample, Slow: cfg.TraceSlow},
 		ring:    span.NewRing(cfg.TraceRingSize),
 		sloEval: slo.NewEvaluator(obs.Default(), cfg.SLOObjectives, cfg.SLOInterval),
+	}
+	if cfg.Store != nil {
+		// Attached before the listener exists, so no request can race
+		// the unsynchronized store-field write.
+		s.session.AttachStore(cfg.Store)
 	}
 	if s.sampler.Tracing() {
 		// The gate is global and one-way here: another live server with
@@ -161,6 +197,25 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/selectarch", func(w http.ResponseWriter, r *http.Request) {
 		s.solve(w, r, "selectarch", s.solveSelectArch)
 	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.submitJob(w, r, "plan", s.solvePlan)
+	})
+	mux.HandleFunc("POST /v1/jobs/{op}", func(w http.ResponseWriter, r *http.Request) {
+		op := r.PathValue("op")
+		fn, ok := map[string]solveFunc{
+			"plan":       s.solvePlan,
+			"simulate":   s.solveSimulate,
+			"selectarch": s.solveSelectArch,
+		}[op]
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found",
+				"unknown job operation %q (want plan, simulate or selectarch)", op)
+			return
+		}
+		s.submitJob(w, r, op, fn)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.jobCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -198,9 +253,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // CacheStats exposes the shared plan cache's counters.
 func (s *Server) CacheStats() run.CacheStats { return s.session.CacheStats() }
 
-// Close stops the worker pool after draining queued jobs.  It is not
-// needed when Running.Drain is used.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the async job engine and the worker pool after draining
+// queued work.  It is not needed when Running.Drain is used.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.pool.close()
+}
 
 // Running is a listening planning server.
 type Running struct {
@@ -268,6 +326,10 @@ func (r *Running) Drain(timeout time.Duration) error {
 		// cannot wait on a connection that will never finish.
 		r.srv.Close()
 	}
+	// Async jobs still queued or running are cancelled — their clients
+	// poll a different (or restarted) process, and a restarted daemon
+	// re-serves finished solves from the durable store anyway.
+	r.s.jobs.Close()
 	r.s.pool.close()
 	return err
 }

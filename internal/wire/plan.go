@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/pim"
+	"repro/internal/retime"
+	"repro/internal/sched"
+)
+
+// The stored-plan frame carries a complete *sched.Plan — everything a
+// restarted daemon needs to serve a previously solved graph without
+// re-running the solver.  It is the payload format of the durable plan
+// store (internal/store): internal/run encodes plans through
+// AppendPlan before writing them through, and decodes store hits with
+// DecodePlan.  Unlike the response frames, the plan frame embeds the
+// kernel graph as a length-prefixed dag frame mid-stream (more fields
+// follow it), and it round-trips the full retiming results, not just
+// the response summary.
+
+// kindStoredPlan is the frame kind byte of a durable stored plan.
+const kindStoredPlan = 'L'
+
+func appendPlacements(dst []byte, a retime.Assignment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(a)))
+	for _, p := range a {
+		dst = append(dst, byte(p))
+	}
+	return dst
+}
+
+func appendRetimeResult(dst []byte, r *retime.Result) []byte {
+	dst = appendInts(dst, r.R)
+	dst = appendInts(dst, r.REdge)
+	dst = appendInt(dst, r.RMax)
+	return appendInt(dst, r.Period)
+}
+
+// AppendPlan appends the binary encoding of a complete plan to dst.
+//
+//paraconv:hotpath
+func AppendPlan(dst []byte, p *sched.Plan) []byte {
+	dst = appendHeader(dst, kindStoredPlan)
+	dst = appendString(dst, p.Scheme)
+	// The kernel graph is length-prefixed because plan fields follow
+	// it; the dag decoder is handed exactly its slice.
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // fixed 4-byte length backpatched below
+	dst = dag.AppendBinary(dst, p.Iter.Graph)
+	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	dst = appendInt(dst, p.Iter.PEs)
+	dst = appendInt(dst, p.Iter.Period)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Iter.Tasks)))
+	for i := range p.Iter.Tasks {
+		t := &p.Iter.Tasks[i]
+		dst = appendInt(dst, int(t.Node))
+		dst = appendInt(dst, int(t.PE))
+		dst = appendInt(dst, t.Start)
+		dst = appendInt(dst, t.Finish)
+	}
+	dst = appendPlacements(dst, p.Iter.Assignment)
+	dst = appendInt(dst, p.ConcurrentIterations)
+	dst = appendInt(dst, p.RMax)
+	dst = appendRetimeResult(dst, &p.Retiming)
+	dst = appendRetimeResult(dst, &p.LogicalRetiming)
+	dst = appendInt(dst, p.CachedIPRs)
+	return appendInt(dst, p.CacheLoadUnits)
+}
+
+func (d *decoder) placements(what string) (retime.Assignment, error) {
+	n, err := d.length(what)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	a := make(retime.Assignment, n)
+	for i := 0; i < n; i++ {
+		b := d.data[d.off]
+		d.off++
+		if b != byte(pim.InCache) && b != byte(pim.InEDRAM) {
+			return nil, fmt.Errorf("wire: %s entry %d has placement byte %d", what, i, b)
+		}
+		a[i] = pim.Placement(b)
+	}
+	return a, nil
+}
+
+func (d *decoder) retimeResult(what string, r *retime.Result) error {
+	var err error
+	if r.R, err = d.ints(what+" r", nil); err != nil {
+		return err
+	}
+	if r.REdge, err = d.ints(what+" redge", nil); err != nil {
+		return err
+	}
+	if r.RMax, err = d.integer(what + " rmax"); err != nil {
+		return err
+	}
+	r.Period, err = d.integer(what + " period")
+	return err
+}
+
+// DecodePlan parses a stored-plan frame into a fresh plan.  The
+// embedded kernel graph is decoded under lim (zero = unlimited) and
+// validated by the dag decoder; the schedule's structural soundness is
+// the caller's check — internal/run validates a decoded plan before
+// trusting a store hit.
+func DecodePlan(data []byte, lim dag.Limits) (*sched.Plan, error) {
+	d, err := newDecoder(data, kindStoredPlan)
+	if err != nil {
+		return nil, err
+	}
+	p := &sched.Plan{}
+	if p.Scheme, err = d.str("scheme"); err != nil {
+		return nil, err
+	}
+	if len(d.data)-d.off < 4 {
+		return nil, d.truncated("graph length")
+	}
+	glen := int(binary.LittleEndian.Uint32(d.data[d.off:]))
+	d.off += 4
+	if glen > len(d.data)-d.off {
+		return nil, fmt.Errorf("wire: graph length %d exceeds the %d input bytes remaining", glen, len(d.data)-d.off)
+	}
+	g, err := dag.DecodeBinary(d.data[d.off:d.off+glen], lim)
+	if err != nil {
+		return nil, &GraphError{Err: err}
+	}
+	d.off += glen
+	p.Iter.Graph = g
+	if p.Iter.PEs, err = d.integer("pes"); err != nil {
+		return nil, err
+	}
+	if p.Iter.Period, err = d.integer("period"); err != nil {
+		return nil, err
+	}
+	ntasks, err := d.length("tasks")
+	if err != nil {
+		return nil, err
+	}
+	if ntasks > 0 {
+		p.Iter.Tasks = make([]sched.Task, ntasks)
+		for i := range p.Iter.Tasks {
+			t := &p.Iter.Tasks[i]
+			var v int
+			if v, err = d.integer("task node"); err != nil {
+				return nil, err
+			}
+			t.Node = dag.NodeID(v)
+			if v, err = d.integer("task pe"); err != nil {
+				return nil, err
+			}
+			t.PE = pim.PEID(v)
+			if t.Start, err = d.integer("task start"); err != nil {
+				return nil, err
+			}
+			if t.Finish, err = d.integer("task finish"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.Iter.Assignment, err = d.placements("assignment"); err != nil {
+		return nil, err
+	}
+	if p.ConcurrentIterations, err = d.integer("concurrent_iterations"); err != nil {
+		return nil, err
+	}
+	if p.RMax, err = d.integer("r_max"); err != nil {
+		return nil, err
+	}
+	if err = d.retimeResult("retiming", &p.Retiming); err != nil {
+		return nil, err
+	}
+	if err = d.retimeResult("logical_retiming", &p.LogicalRetiming); err != nil {
+		return nil, err
+	}
+	if p.CachedIPRs, err = d.integer("cached_iprs"); err != nil {
+		return nil, err
+	}
+	if p.CacheLoadUnits, err = d.integer("cache_load_units"); err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -65,7 +65,7 @@ scripts/bench.sh --short --compare-only --no-gate
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
 tmpdir=$(mktemp -d)
-trap 'for p in "${http_pid:-}" "${pd_pid:-}" "${slo_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
+trap 'for p in "${http_pid:-}" "${pd_pid:-}" "${slo_pid:-}" "${wr_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/benchtab" ./cmd/benchtab
 "$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
 "$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
@@ -254,5 +254,92 @@ curl -fsS "http://$slo_addr/debug/slo" | python3 -c 'import json,sys; r=json.loa
 kill -TERM "$slo_pid"
 wait "$slo_pid" || { echo "tracing paraconvd did not drain cleanly" >&2; exit 1; }
 slo_pid=""
+
+echo "== warm-restart smoke"
+# The durable plan store must survive a restart: boot a daemon on a
+# data dir, populate it with an async burst, drain, boot a fresh
+# daemon on the SAME dir, replay the identical burst (same seed, same
+# graph mix) and require zero solver work the second time around.
+wr_dir="$tmpdir/wr-data"
+start_wr_daemon() {
+    local errlog=$1
+    "$tmpdir/paraconvd" -addr 127.0.0.1:0 -data-dir "$wr_dir" \
+        -slo-interval 200ms 2> "$errlog" &
+    wr_pid=$!
+    wr_addr=""
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$errlog"; then
+            wr_addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$errlog" | head -n1)
+            break
+        fi
+        if ! kill -0 "$wr_pid" 2>/dev/null; then
+            echo "warm-restart paraconvd exited early:" >&2
+            cat "$errlog" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "$wr_addr" ]]; then
+        echo "warm-restart paraconvd never reported its address:" >&2
+        cat "$errlog" >&2
+        exit 1
+    fi
+}
+# sum_solves <metrics-file>: total uncached solves across variants
+# (family absent = 0).
+sum_solves() {
+    awk '/^paraconv_plan_solve_seconds_count/ { s += $2 } END { printf "%d\n", s }' "$1"
+}
+
+start_wr_daemon "$tmpdir/wr1.err"
+"$tmpdir/paraconvload" -addr "$wr_addr" -workers 4 -duration 2s -async \
+    > "$tmpdir/wr_load1.out"
+grep -qE "\+ 0 lost$" "$tmpdir/wr_load1.out" || {
+    echo "async burst lost jobs:" >&2
+    cat "$tmpdir/wr_load1.out" >&2
+    exit 1
+}
+curl -fsS "http://$wr_addr/metrics" > "$tmpdir/wr1_metrics.txt"
+solves_a=$(sum_solves "$tmpdir/wr1_metrics.txt")
+if [[ "$solves_a" -lt 1 ]]; then
+    echo "first boot recorded no solves (got $solves_a); burst never reached the solver" >&2
+    exit 1
+fi
+if ! ls "$wr_dir"/*.plan > /dev/null 2>&1; then
+    echo "first boot wrote no plan files to $wr_dir" >&2
+    ls -la "$wr_dir" >&2 || true
+    exit 1
+fi
+kill -TERM "$wr_pid"
+wait "$wr_pid" || { echo "warm-restart daemon (boot 1) did not drain cleanly" >&2; exit 1; }
+wr_pid=""
+
+start_wr_daemon "$tmpdir/wr2.err"
+"$tmpdir/paraconvload" -addr "$wr_addr" -workers 4 -duration 2s -async \
+    > "$tmpdir/wr_load2.out"
+grep -qE "\+ 0 lost$" "$tmpdir/wr_load2.out" || {
+    echo "post-restart async burst lost jobs:" >&2
+    cat "$tmpdir/wr_load2.out" >&2
+    exit 1
+}
+curl -fsS "http://$wr_addr/metrics" > "$tmpdir/wr2_metrics.txt"
+solves_b=$(sum_solves "$tmpdir/wr2_metrics.txt")
+if [[ "$solves_b" -ne 0 ]]; then
+    echo "restarted daemon ran $solves_b solves; the durable store should have served them all" >&2
+    grep "^paraconv_store_" "$tmpdir/wr2_metrics.txt" >&2 || true
+    exit 1
+fi
+store_hits=$(awk '/^paraconv_store_hits_total/ { print $2; exit }' "$tmpdir/wr2_metrics.txt")
+if [[ -z "$store_hits" || "$store_hits" -lt 1 ]]; then
+    echo "restarted daemon recorded no store hits (got '$store_hits')" >&2
+    grep "^paraconv_store_" "$tmpdir/wr2_metrics.txt" >&2 || true
+    exit 1
+fi
+curl -fsS "http://$wr_addr/debug/slo" \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["healthy"], r' \
+    || { echo "warm-restarted daemon is burning SLO budget" >&2; exit 1; }
+kill -TERM "$wr_pid"
+wait "$wr_pid" || { echo "warm-restart daemon (boot 2) did not drain cleanly" >&2; exit 1; }
+wr_pid=""
 
 echo "CI gate passed."
