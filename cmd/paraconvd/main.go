@@ -8,6 +8,7 @@
 //	          [-drain-timeout D] [-request-timeout D] [-max-body N]
 //	          [-max-nodes N] [-max-edges N] [-cache-bound N]
 //	          [-data-dir DIR] [-store-max-bytes N]
+//	          [-peers H1:P1,H2:P2,...] [-node-id HOST:PORT]
 //	          [-job-workers N] [-job-queue N] [-job-ttl D]
 //	          [-trace-sample N] [-trace-slow D] [-slo-interval D]
 //	          [-loglevel LEVEL] [-metrics]
@@ -27,6 +28,18 @@
 // graphs without re-running the solver (see DESIGN.md "Async jobs &
 // durable store").  -store-max-bytes bounds the directory; least
 // recently used entries are evicted past it.
+//
+// -peers runs the daemon as one member of a sharded planning cluster:
+// a comma-separated static member list (host:port each, the same list
+// on every node) consistent-hashed onto a ring that assigns every plan
+// fingerprint an owning node.  A non-owner's cache miss fetches the
+// owner's plan over GET /v1/plans/{fp} — shipping the full problem so
+// the owner can solve it — before ever solving locally, so each
+// distinct problem solves exactly once fleet-wide.  -node-id names
+// this node's own entry in the list (default: the bound -addr).  Peer
+// failure degrades to a local solve; a consecutive-failure breaker
+// with /healthz probes flips dead peers out of the ring and back in
+// (see DESIGN.md "Cluster").
 //
 // -trace-sample N traces one request in N (1 = every request; 0, the
 // default, disables tracing).  Traced requests echo their id in the
@@ -50,9 +63,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -72,6 +87,8 @@ func main() {
 	cacheBound := flag.Int("cache-bound", 0, "plan-cache entry bound (0 = default)")
 	dataDir := flag.String("data-dir", "", "durable plan-store directory (empty = no durable store)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "plan-store payload byte bound, LRU-evicted past it (0 = unbounded)")
+	peers := flag.String("peers", "", "comma-separated cluster member list, host:port each, identical on every node (empty = single node)")
+	nodeID := flag.String("node-id", "", "this node's entry in -peers (default: the bound -addr)")
 	jobWorkers := flag.Int("job-workers", 0, "async job workers (0 = solve-pool worker count)")
 	jobQueue := flag.Int("job-queue", 256, "async job queue depth; submissions beyond it are shed with 429")
 	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "how long finished async jobs stay pollable")
@@ -109,6 +126,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("opening plan store: %v", err)
 		}
+		if err := st.Probe(); err != nil {
+			// Fail fast: a store that cannot commit now would fail every
+			// write-through and lose the warm-restart cache silently.
+			log.Fatalf("plan store failed write probe: %v", err)
+		}
 		log.Printf("plan store %s (%d entries, %d payload bytes)", st.Dir(), st.Len(), st.Stats().Bytes)
 		cfg.Store = st
 	}
@@ -116,6 +138,24 @@ func main() {
 	running, err := s.Start(*addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *nodeID
+		if self == "" {
+			self = running.Addr()
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:  self,
+			Peers: strings.Split(*peers, ","),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		s.AttachCluster(cl)
+		live, total := cl.Health()
+		log.Printf("cluster member %s (%d/%d live of %v)", cl.Self(), live, total, *peers)
 	}
 	log.Printf("listening on %s (workers %d, queue %d)", running.Addr(), *workers, *queue)
 

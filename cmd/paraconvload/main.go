@@ -6,10 +6,22 @@
 //
 // Usage:
 //
-//	paraconvload [-addr HOST:PORT] [-workers N] [-duration D] [-n N]
+//	paraconvload [-addr HOST:PORT] [-cluster H1:P1,H2:P2,...]
+//	             [-workers N] [-duration D] [-n N]
 //	             [-endpoint plan|simulate|selectarch] [-variant V]
 //	             [-codec json|binary|mixed] [-async]
 //	             [-pes N] [-iters N] [-timeout-ms N] [-seed N] [-slo]
+//
+// With -cluster, the generator drives a sharded planning fleet the way
+// a routing client should: it builds the same consistent-hash ring the
+// daemons build from the same member list, computes each prepared
+// request's plan fingerprint, and sends every request directly to its
+// owning node — so no request ever needs a peer fill.  The report adds
+// per-node request counts, req/s and p99, and closes with a
+// cluster-wide fill-vs-solve accounting line summed from every node's
+// /metrics: distinct problems should equal solves, with fills covering
+// any requests that reached a non-owner.  (-addr is ignored for
+// routing but still names the node -slo interrogates.)
 //
 // With -async, workers drive the async job API instead of the sync
 // endpoints: each exchange is a POST /v1/jobs/{endpoint} followed by
@@ -47,13 +59,17 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/jobs"
 	"repro/internal/obs/slo"
+	"repro/internal/pim"
+	"repro/internal/run"
 	"repro/internal/synth"
 	"repro/internal/wire"
 )
@@ -67,10 +83,12 @@ const (
 
 var codecNames = [numCodecs]string{"json", "binary"}
 
-// prepared is one pre-serialized request body with its codec.
+// prepared is one pre-serialized request body with its codec and the
+// plan fingerprint the sharded fleet routes it by.
 type prepared struct {
 	body  []byte
 	codec int
+	fp    string
 }
 
 // sizeClass is one entry of the graph mix.
@@ -104,6 +122,12 @@ type jobTally struct {
 	depthMax  int
 }
 
+// nodeTally is one cluster member's slice of a worker's exchanges.
+type nodeTally struct {
+	latencies []time.Duration
+	transport int
+}
+
 // workerResult is one worker's private tally, merged after the run.
 type workerResult struct {
 	latencies []time.Duration       // one entry per completed HTTP exchange
@@ -111,12 +135,14 @@ type workerResult struct {
 	transport int                   // requests that died before a status
 	codec     [numCodecs]codecTally // per-codec bytes for completed exchanges
 	jobs      jobTally              // async-mode job accounting
+	nodes     map[string]*nodeTally // per-member accounting in -cluster mode
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paraconvload: ")
 	addr := flag.String("addr", "127.0.0.1:8080", "paraconvd address")
+	clusterList := flag.String("cluster", "", "comma-separated cluster member list; route each request to its fingerprint's owner")
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "how long to drive load (ignored when -n > 0)")
 	total := flag.Int("n", 0, "total request budget (0 = run for -duration)")
@@ -151,9 +177,26 @@ func main() {
 	}
 	fmt.Printf("mix: %s (codec %s)\n", strings.Join(names, ", "), *codec)
 
-	url := fmt.Sprintf("http://%s/v1/%s", *addr, *endpoint)
+	// In cluster mode every request routes to its fingerprint's owner
+	// on the same ring the daemons build from the same member list —
+	// the cheapest possible client-side sharding, no extra round trip.
+	var ring *cluster.Ring
+	var members []string
+	if *clusterList != "" {
+		ring = cluster.NewRing(strings.Split(*clusterList, ","), 0)
+		members = ring.Members()
+		if len(members) == 0 {
+			log.Fatal("-cluster has no members")
+		}
+		fmt.Printf("cluster: routing over %s\n", strings.Join(members, ", "))
+	}
+	path := "/v1/" + *endpoint
 	if *asyncMode {
-		url = fmt.Sprintf("http://%s/v1/jobs/%s", *addr, *endpoint)
+		path = "/v1/jobs/" + *endpoint
+	}
+	urls := map[string]string{*addr: "http://" + *addr + path}
+	for _, m := range members {
+		urls[m] = "http://" + m + path
 	}
 	client := &http.Client{
 		Transport: &http.Transport{
@@ -192,9 +235,18 @@ func main() {
 					return
 				}
 				pr := reqs[rng.Intn(len(reqs))]
-				httpReq, err := http.NewRequest("POST", url, bytes.NewReader(pr.body))
+				node := *addr
+				if ring != nil {
+					if o := ring.Owner(pr.fp); o != "" {
+						node = o
+					}
+				}
+				httpReq, err := http.NewRequest("POST", urls[node], bytes.NewReader(pr.body))
 				if err != nil {
 					res.transport++
+					if ring != nil {
+						res.nodeFor(node).transport++
+					}
 					continue
 				}
 				if pr.codec == codecBinary {
@@ -207,15 +259,22 @@ func main() {
 				resp, err := client.Do(httpReq)
 				if err != nil {
 					res.transport++
+					if ring != nil {
+						res.nodeFor(node).transport++
+					}
 					continue
 				}
 				var read int64
 				if *asyncMode && resp.StatusCode == http.StatusAccepted {
-					read = driveJob(client, *addr, resp, res, t0)
+					read = driveJob(client, node, resp, res, t0)
 				} else {
 					read, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					res.latencies = append(res.latencies, time.Since(t0))
+				}
+				if ring != nil {
+					nt := res.nodeFor(node)
+					nt.latencies = append(nt.latencies, time.Since(t0))
 				}
 				res.status[resp.StatusCode]++
 				tally := &res.codec[pr.codec]
@@ -229,12 +288,93 @@ func main() {
 	elapsed := time.Since(start)
 
 	report(os.Stdout, results, elapsed, *asyncMode)
+	if ring != nil {
+		clusterAccounting(os.Stdout, client, members)
+	}
 
 	if *sloGate {
 		if !checkSLO(os.Stdout, client, *addr) {
 			os.Exit(1)
 		}
 	}
+}
+
+// nodeFor returns (allocating on first use) the tally for one cluster
+// member; callers only consult it in -cluster mode.
+func (r *workerResult) nodeFor(node string) *nodeTally {
+	if r.nodes == nil {
+		r.nodes = make(map[string]*nodeTally)
+	}
+	nt := r.nodes[node]
+	if nt == nil {
+		nt = &nodeTally{}
+		r.nodes[node] = nt
+	}
+	return nt
+}
+
+// clusterAccounting fetches every member's /metrics and prints the
+// fleet-wide fill-vs-solve identity: each request was either served
+// from a cache tier, filled from a peer, solved by an owner (possibly
+// on a peer's behalf at /v1/plans), or fell back to a degraded local
+// solve — and the distinct-problem count should match solves, with
+// fills strictly bounded by forwards.
+func clusterAccounting(w io.Writer, client *http.Client, members []string) {
+	var solves, fills, fallbacks, forwards int64
+	fmt.Fprintf(w, "\ncluster accounting (%d nodes):\n", len(members))
+	for _, m := range members {
+		sums, err := scrapeMetrics(client, m)
+		if err != nil {
+			fmt.Fprintf(w, "  %s: scraping /metrics: %v\n", m, err)
+			continue
+		}
+		fmt.Fprintf(w, "  %s: %d solves, %d peer fills, %d fallback solves, %d fill requests served\n",
+			m, sums["paraconv_plan_solve_seconds_count"], sums["paraconv_cluster_peer_fills_total"],
+			sums["paraconv_cluster_fallback_solves_total"], sums["paraconv_cluster_forwards_total"])
+		solves += sums["paraconv_plan_solve_seconds_count"]
+		fills += sums["paraconv_cluster_peer_fills_total"]
+		fallbacks += sums["paraconv_cluster_fallback_solves_total"]
+		forwards += sums["paraconv_cluster_forwards_total"]
+	}
+	fmt.Fprintf(w, "  fleet: %d solves + %d peer fills (%d degraded local solves, %d fill requests served)\n",
+		solves, fills, fallbacks, forwards)
+}
+
+// scrapeMetrics sums a node's /metrics text by family name: label sets
+// collapse (the solve timer is labeled per variant), so the caller
+// reads whole-family totals.
+func scrapeMetrics(client *http.Client, addr string) (map[string]int64, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]int64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += int64(v)
+	}
+	return sums, nil
 }
 
 // driveJob finishes one async exchange: decode the 202 body the caller
@@ -346,6 +486,11 @@ func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int, code
 			if err != nil {
 				return nil, nil, fmt.Errorf("generating %s graph: %w", sc.name, err)
 			}
+			// The routing fingerprint must be computed exactly as the
+			// servers compute it: same graph, same resolved config
+			// (bodies always request the neurocube arch), same variant
+			// normalization.
+			fp := run.PlanFingerprint(variant, "", g, pim.Neurocube(pes))
 			if codec == "json" || codec == "mixed" {
 				var text bytes.Buffer
 				if err := dag.WriteText(&text, g); err != nil {
@@ -362,7 +507,7 @@ func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int, code
 				if err != nil {
 					return nil, nil, err
 				}
-				reqs = append(reqs, prepared{body: body, codec: codecJSON})
+				reqs = append(reqs, prepared{body: body, codec: codecJSON, fp: fp})
 			}
 			if codec == "binary" || codec == "mixed" {
 				body := wire.AppendRequest(nil, &wire.Request{
@@ -372,7 +517,7 @@ func buildBodies(seed int64, pes, iters int, variant string, timeoutMS int, code
 					Variant:    variant,
 					TimeoutMS:  timeoutMS,
 				}, g)
-				reqs = append(reqs, prepared{body: body, codec: codecBinary})
+				reqs = append(reqs, prepared{body: body, codec: codecBinary, fp: fp})
 			}
 			names = append(names, fmt.Sprintf("%s(%dv/%de)", sc.name, sc.vertices, sc.edges))
 		}
@@ -390,8 +535,18 @@ func report(w io.Writer, results []*workerResult, elapsed time.Duration, async b
 	transport := 0
 	var codec [numCodecs]codecTally
 	jt := jobTally{states: make(map[string]int)}
+	nodes := make(map[string]*nodeTally)
 	for _, r := range results {
 		latencies = append(latencies, r.latencies...)
+		for node, nt := range r.nodes {
+			merged := nodes[node]
+			if merged == nil {
+				merged = &nodeTally{}
+				nodes[node] = merged
+			}
+			merged.latencies = append(merged.latencies, nt.latencies...)
+			merged.transport += nt.transport
+		}
 		for code, n := range r.status {
 			status[code] += n
 		}
@@ -455,6 +610,27 @@ func report(w io.Writer, results []*workerResult, elapsed time.Duration, async b
 		if jt.submitted > 0 {
 			fmt.Fprintf(w, "  queue depth at accept: avg %.1f, max %d\n",
 				float64(jt.depthSum)/float64(jt.submitted), jt.depthMax)
+		}
+	}
+	if len(nodes) > 0 {
+		names := make([]string, 0, len(nodes))
+		for node := range nodes {
+			names = append(names, node)
+		}
+		sort.Strings(names)
+		for _, node := range names {
+			nt := nodes[node]
+			sort.Slice(nt.latencies, func(i, j int) bool { return nt.latencies[i] < nt.latencies[j] })
+			n := len(nt.latencies)
+			line := fmt.Sprintf("  node %s: %d requests (%.1f req/s)", node, n+nt.transport,
+				float64(n)/elapsed.Seconds())
+			if n > 0 {
+				line += fmt.Sprintf(", p99 %s", nt.latencies[int(0.99*float64(n-1))].Round(10*time.Microsecond))
+			}
+			if nt.transport > 0 {
+				line += fmt.Sprintf(", %d transport errors", nt.transport)
+			}
+			fmt.Fprintln(w, line)
 		}
 	}
 	mbps := func(b int64) float64 { return float64(b) / (1 << 20) / elapsed.Seconds() }

@@ -90,6 +90,11 @@ func AllPasses() []Pass {
 			Run:  runHTTPServe,
 		},
 		{
+			Name: "peercall",
+			Doc:  "ad-hoc net/http client construction outside internal/cluster and internal/bench; peer calls go through the cluster's pooled fill client",
+			Run:  runPeerCall,
+		},
+		{
 			Name: "fsio",
 			Doc:  "direct filesystem writes (os.Create, os.WriteFile, os.Rename) outside internal/store; durable state goes through the store's atomic writer",
 			Run:  runFSIO,

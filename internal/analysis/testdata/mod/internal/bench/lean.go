@@ -1,0 +1,10 @@
+// Package bench is the other sanctioned peer-call tree: the harness's
+// lean driver measures the serving path with its own client.
+package bench
+
+import "net/http"
+
+// Driver constructs a measurement client; no diagnostics expected.
+func Driver() http.Client {
+	return http.Client{}
+}

@@ -1,0 +1,16 @@
+// Package cluster is a sanctioned peer-call tree: the pooled fill
+// client may construct http.Client values and use the default-client
+// helpers without tripping the peercall pass.
+package cluster
+
+import "net/http"
+
+// Pooled constructs the sanctioned client; no diagnostics expected.
+func Pooled() *http.Client {
+	return &http.Client{}
+}
+
+// Probe uses a helper; no diagnostics expected.
+func Probe(url string) (*http.Response, error) {
+	return http.Get(url)
+}

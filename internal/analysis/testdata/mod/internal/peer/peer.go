@@ -1,0 +1,34 @@
+// Package peer violates the peercall rule every way the pass covers:
+// ad-hoc http.Client construction and the default-client helpers,
+// outside the sanctioned internal/cluster and internal/bench trees.
+package peer
+
+import (
+	"net/http"
+	"time"
+)
+
+// Adhoc constructs a private client instead of using the cluster's
+// pooled fill client.
+func Adhoc() *http.Client {
+	return &http.Client{Timeout: 5 * time.Second} // want peercall
+}
+
+// AdhocValue constructs one by value.
+func AdhocValue() http.Client {
+	return http.Client{} // want peercall
+}
+
+// Helpers route through net/http's default client.
+func Helpers(url string) error {
+	if _, err := http.Post(url, "text/plain", nil); err != nil { // want peercall
+		return err
+	}
+	_, err := http.Head(url) // want peercall
+	return err
+}
+
+// Default touches the default client directly.
+func Default(req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want peercall
+}

@@ -29,7 +29,8 @@ func Method(srv *http.Server) error {
 	return srv.ListenAndServe() // want httpserve
 }
 
-// Client-side HTTP is fine; only serving is fenced.
+// Client-side HTTP through the default client is fenced too: peer
+// calls belong to the cluster's pooled fill client.
 func Fetch(url string) (*http.Response, error) {
-	return http.Get(url)
+	return http.Get(url) // want peercall
 }

@@ -19,11 +19,13 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/jobs"
 	"repro/internal/pim"
 	"repro/internal/retime"
+	"repro/internal/run"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -297,12 +299,190 @@ func RunPerf(ctx context.Context, short bool) (*PerfReport, error) {
 	// work no production server pays.
 	cleanup()
 	runtime.GC()
+	// The cluster rows come before the daemon rows for the same
+	// span-gate reason the traced daemon row comes last: they build
+	// untraced servers, and nothing may run after a tracing server has
+	// flipped the process-wide gate on.
+	clusterRecs, err := measureCluster(ctx, target)
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, clusterRecs...)
+	runtime.GC()
 	daemon, err := measureDaemon(ctx, target)
 	if err != nil {
 		return nil, err
 	}
 	rep.Records = append(rep.Records, daemon...)
 	return rep, nil
+}
+
+// fillSpeedup is the cluster/peer_fill absolute gate: on loopback a
+// warm peer fill (fetch + decode + revalidate) must beat solving the
+// 1200-vertex fixture locally by at least this factor, or shipping
+// plans around the ring would be slower than the solves it avoids.
+const fillSpeedup = 5.0
+
+// measureCluster spins a three-node loopback fleet sharing one ring
+// and reports the cluster tier's two costs.  cluster/peer_fill is one
+// non-owner's warm fill of the owner's 1200-vertex plan, end to end:
+// routed GET over the pooled raw-TCP client, frame decode, schedule
+// revalidation — everything a requester pays instead of solving.
+// cluster/plan_req_3node is the sustained plan-request rate with one
+// persistent client per node; after warm-up the fleet has solved the
+// problem exactly once (owner), filled it twice (non-owners), and the
+// window measures three serving paths running concurrently.
+func measureCluster(ctx context.Context, target time.Duration) ([]PerfRecord, error) {
+	fail := func(err error) ([]PerfRecord, error) {
+		return nil, fmt.Errorf("bench: perf cluster: %w", err)
+	}
+	const vertices = 1200
+	cfg := pim.Neurocube(32)
+	g, err := synth.Generate(synth.Params{
+		Name:     fmt.Sprintf("scale-%d", vertices),
+		Vertices: vertices,
+		Edges:    vertices * 26 / 10,
+		Seed:     int64(9000 + vertices),
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	// The fill gate's yardstick: the local solve the fill replaces,
+	// timed directly before any server contends for the CPU.
+	solveStart := time.Now()
+	const solveReps = 3
+	for i := 0; i < solveReps; i++ {
+		if _, err := sched.ParaCONV(g, cfg); err != nil {
+			return fail(err)
+		}
+	}
+	solveNs := float64(time.Since(solveStart).Nanoseconds()) / solveReps
+
+	// Three daemons on loopback, one ring over their bound addresses.
+	const nodes = 3
+	srvs := make([]*server.Server, nodes)
+	addrs := make([]string, nodes)
+	for i := range srvs {
+		srvs[i] = server.New(server.Config{})
+		rn, err := srvs[i].Start("127.0.0.1:0")
+		if err != nil {
+			srvs[i].Close()
+			return fail(err)
+		}
+		defer rn.Drain(5 * time.Second)
+		addrs[i] = rn.Addr()
+	}
+	cls := make([]*cluster.Cluster, nodes)
+	for i := range srvs {
+		cl, err := cluster.New(cluster.Config{Self: addrs[i], Peers: addrs, ProbeInterval: time.Hour})
+		if err != nil {
+			return fail(err)
+		}
+		defer cl.Close()
+		cls[i] = cl
+		srvs[i].AttachCluster(cl)
+	}
+
+	// cluster/peer_fill: warm the owner once (it solves on the
+	// requester's behalf), then measure the steady-state fill.
+	fp := run.PlanFingerprint("", "", g, cfg)
+	owner := cls[0].Owner(fp)
+	requester := cls[0]
+	for i, addr := range addrs {
+		if addr != owner {
+			requester = cls[i]
+			break
+		}
+	}
+	buildFill := func() []byte { return wire.AppendPeerFill(nil, "para-conv", cfg, g) }
+	if _, ok := requester.Fill(ctx, fp, buildFill); !ok {
+		return fail(fmt.Errorf("warm-up fill of %s against %s failed", fp, owner))
+	}
+	fillRec, err := measureLoop(ctx, target, func() error {
+		payload, ok := requester.Fill(ctx, fp, buildFill)
+		if !ok {
+			return fmt.Errorf("warm peer fill failed")
+		}
+		p, err := wire.DecodeFillPlan(payload, g, dag.Limits{})
+		if err != nil {
+			return err
+		}
+		return p.Iter.Validate()
+	})
+	if err != nil {
+		return fail(fmt.Errorf("cluster/peer_fill: %w", err))
+	}
+	fillRec.Name = "cluster/peer_fill"
+	if fillRec.NsPerOp*fillSpeedup > solveNs {
+		return fail(fmt.Errorf("cluster/peer_fill %.0fns/op does not beat the %d-vertex local solve (%.0fns) by %.0fx",
+			fillRec.NsPerOp, vertices, solveNs, fillSpeedup))
+	}
+
+	// cluster/plan_req_3node: the same plan request hammered at every
+	// node at once through the lean client.  The warm-up exchanges are
+	// where the fills happen; the window is pure concurrent serving.
+	gReq, err := synth.Generate(synth.Params{Name: "perfreq3", Vertices: 60, Edges: 150, Seed: 9063})
+	if err != nil {
+		return fail(err)
+	}
+	binBody := wire.AppendRequest(nil, &wire.Request{PEs: 16}, gReq)
+	clients := make([]*leanClient, nodes)
+	for i, addr := range addrs {
+		c, err := dialLean(addr, rawPlanRequest(addr, wire.ContentTypeBinary, binBody))
+		if err != nil {
+			return fail(err)
+		}
+		defer c.close()
+		clients[i] = c
+		if err := c.do(); err != nil {
+			return fail(fmt.Errorf("warm-up request to node %d: %w", i, err))
+		}
+	}
+
+	var before, after runtime.MemStats
+	var total, failures atomic.Int64
+	var firstErr atomic.Value
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	deadline := start.Add(target)
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *leanClient) {
+			defer wg.Done()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if err := c.do(); err != nil {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				total.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if f := failures.Load(); f > 0 {
+		return fail(fmt.Errorf("cluster/plan_req_3node: %d requests failed (first: %v)", f, firstErr.Load()))
+	}
+	ops := total.Load()
+	if ops == 0 {
+		return fail(fmt.Errorf("cluster/plan_req_3node: no requests completed in %v", target))
+	}
+	reqRec := PerfRecord{
+		Name:        "cluster/plan_req_3node",
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		Ops:         int(ops),
+	}
+	return []PerfRecord{fillRec, reqRec}, nil
 }
 
 // measureDaemon drives a live loopback paraconvd at full tilt with one
@@ -588,9 +768,10 @@ func ComparePerf(prev, cur *PerfReport) []PerfDelta {
 			Regressed: c.AllocsPerOp > p.AllocsPerOp*(1+perfTolerancePct/100)+allocSlack,
 		})
 		// The rate is the inverse of ns/op for single-threaded loads;
-		// only the daemon workload (parallel clients) carries
-		// independent information worth a row and a gate.
-		if strings.HasPrefix(c.Name, "server/") {
+		// only the request workloads with parallel clients — the
+		// single daemon and the three-node fleet — carry independent
+		// information worth a row and a gate.
+		if strings.HasPrefix(c.Name, "server/") || strings.HasPrefix(c.Name, "cluster/plan_req") {
 			out = append(out, PerfDelta{
 				Name: c.Name, Metric: "req/s", Prev: p.OpsPerSec, Cur: c.OpsPerSec,
 				Pct:       pctWorse(c.OpsPerSec, p.OpsPerSec), // lower is worse

@@ -1,0 +1,161 @@
+// Package cluster is the sharded planning fleet's membership and
+// routing layer: a static member list hashed onto a consistent ring,
+// a pooled raw-TCP fill client, and a per-peer consecutive-failure
+// breaker with health probes flipping peers in and out of the ring.
+//
+// Ownership is pure arithmetic — every node (and every routing client)
+// computes the same owner for a plan fingerprint from the same member
+// list, with no coordination traffic.  The fill protocol layered on
+// top (GET /v1/plans/{fp}, see internal/server) extends the plan
+// cache's singleflight one tier outward: a non-owner's cache miss
+// fetches the owner's plan before ever solving locally, so each
+// distinct planning problem solves exactly once fleet-wide.
+// Degradation is strictly monotone: any peer failure falls back to a
+// local solve, so the cluster is never slower-correct than a single
+// node, only faster.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough points
+// that a three-node ring splits load within a few percent of even,
+// while keeping the ring rebuild (sort of members*vnodes points)
+// trivially cheap.
+const DefaultVNodes = 64
+
+// point is one virtual node: a member's i-th hash position.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring maps plan fingerprints to owning members by consistent
+// hashing.  Construction is deterministic: the same member set and
+// vnode count produce the same ring on every node of the fleet (and
+// in every routing client), whatever order the members were listed
+// in.  A Ring is safe for concurrent Owner calls; SetLive mutates and
+// needs external synchronization (Cluster holds one under a lock —
+// read-only users like the load generator never call it).
+type Ring struct {
+	vnodes  int
+	members []string // sorted, deduplicated
+	live    map[string]bool
+	points  []point // live members' points, sorted by hash
+}
+
+// NewRing builds a ring over members (whitespace-trimmed,
+// deduplicated, order irrelevant) with the given virtual-node count
+// (<= 0 means DefaultVNodes).  All members start live.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, live: make(map[string]bool, len(members))}
+	for _, m := range members {
+		m = strings.TrimSpace(m)
+		if m == "" || r.live[m] {
+			continue
+		}
+		r.live[m] = true
+		r.members = append(r.members, m)
+	}
+	sort.Strings(r.members)
+	r.rebuild()
+	return r
+}
+
+// rebuild recomputes the point list from the live set.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for _, m := range r.members {
+		if !r.live[m] {
+			continue
+		}
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{hash: hashPoint(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A 64-bit collision across members would otherwise make the
+		// owner depend on sort order; break it by name.
+		return a.member < b.member
+	})
+}
+
+func hashPoint(member string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(i)))
+	return mix(h.Sum64())
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix(h.Sum64())
+}
+
+// mix is a 64-bit avalanche finalizer (MurmurHash3's fmix64).  FNV-1a
+// alone is unusable for ring positions: on short inputs like
+// "host:port#3" its high bits barely move, so every member's points
+// land in one narrow arc and one node owns most of the keyspace.  The
+// finalizer spreads each point over the full 64-bit circle while
+// staying exactly as deterministic as the raw hash.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Owner returns the live member owning key (the first point clockwise
+// from the key's hash), or "" when no member is live.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// SetLive flips one member's ring membership and reports whether the
+// state changed (unknown members never change).
+func (r *Ring) SetLive(member string, live bool) bool {
+	cur, known := r.live[member]
+	if !known || cur == live {
+		return false
+	}
+	r.live[member] = live
+	r.rebuild()
+	return true
+}
+
+// Members returns the configured member list (sorted; liveness
+// ignored).  The slice is shared — callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Live returns the live and total member counts.
+func (r *Ring) Live() (live, total int) {
+	for _, m := range r.members {
+		if r.live[m] {
+			live++
+		}
+	}
+	return live, len(r.members)
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: member order, duplicates and whitespace must
+// not change ownership — every node builds the ring from its own copy
+// of the flag string.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	b := NewRing([]string{" n3:3", "n1:1", "n2:2", "n2:2", ""}, 0)
+	for _, k := range ringKeys(1000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("Owner(%s) = %q vs %q across member orderings", k, ao, bo)
+		}
+	}
+}
+
+// TestRingDistribution: with the default vnode count a three-node ring
+// must split a large keyspace within a reasonable band of even.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	counts := make(map[string]int)
+	keys := ringKeys(30000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for m, n := range counts {
+		share := float64(n) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys; want a roughly even split", m, 100*share)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("%d members own keys, want 3: %v", len(counts), counts)
+	}
+}
+
+// TestRingSetLive: flipping a member out must only move that member's
+// keys (consistent hashing's whole point), and flipping it back must
+// restore the original mapping exactly.
+func TestRingSetLive(t *testing.T) {
+	r := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	keys := ringKeys(5000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	if !r.SetLive("n2:2", false) {
+		t.Fatal("SetLive(n2:2, false) reported no change")
+	}
+	if r.SetLive("n2:2", false) {
+		t.Fatal("second SetLive(n2:2, false) reported a change")
+	}
+	if r.SetLive("unknown:9", false) {
+		t.Fatal("SetLive of an unknown member reported a change")
+	}
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == "n2:2" {
+			t.Fatalf("dead member still owns %s", k)
+		}
+		if before[k] != "n2:2" && owner != before[k] {
+			t.Fatalf("key %s moved from %s to %s when an unrelated member died", k, before[k], owner)
+		}
+	}
+	if live, total := r.Live(); live != 2 || total != 3 {
+		t.Fatalf("Live() = %d/%d, want 2/3", live, total)
+	}
+
+	r.SetLive("n2:2", true)
+	for _, k := range keys {
+		if owner := r.Owner(k); owner != before[k] {
+			t.Fatalf("key %s owned by %s after revival, want %s", k, owner, before[k])
+		}
+	}
+}
+
+func TestRingNoLiveMembers(t *testing.T) {
+	r := NewRing([]string{"n1:1"}, 0)
+	r.SetLive("n1:1", false)
+	if o := r.Owner("k"); o != "" {
+		t.Fatalf("Owner on an empty ring = %q, want \"\"", o)
+	}
+}

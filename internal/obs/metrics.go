@@ -81,6 +81,19 @@ var (
 	JobsQueueWait  = Default().Timer("paraconv_jobs_queue_wait_seconds", "time a job waited in the queue before a worker picked it up")
 )
 
+// Sharded planning cluster (internal/cluster, wired through
+// internal/run's peer tier and internal/server's /v1/plans endpoint).
+var (
+	ClusterRingMembers      = Default().Gauge("paraconv_cluster_ring_members", "configured cluster member count (including this node)")
+	ClusterRingLive         = Default().Gauge("paraconv_cluster_ring_live", "members currently in the hash ring (self plus peers with a closed breaker)")
+	ClusterBreakerOpen      = Default().Gauge("paraconv_cluster_breaker_open", "peers currently flipped out of the ring by the consecutive-failure breaker")
+	ClusterPeerFills        = Default().Counter("paraconv_cluster_peer_fills_total", "plan-cache misses served by fetching the owner's plan over /v1/plans")
+	ClusterPeerFillFailures = Default().Counter("paraconv_cluster_peer_fill_failures_total", "peer fill attempts that failed (timeout, transport error, or non-200)")
+	ClusterFallbackSolves   = Default().Counter("paraconv_cluster_fallback_solves_total", "local solves run because a peer fill failed or returned an unusable frame (degraded mode)")
+	ClusterForwards         = Default().Counter("paraconv_cluster_forwards_total", "peer fill requests this node served for other nodes at /v1/plans")
+	ClusterProbeFailures    = Default().Counter("paraconv_cluster_probe_failures_total", "health probes of peers that failed")
+)
+
 // Request tracing (internal/obs/span, wired in internal/server).
 var (
 	TraceSampled = Default().Counter("paraconv_trace_sampled_total", "request traces admitted to the ring by the 1-in-N sampler")

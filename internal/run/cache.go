@@ -3,9 +3,11 @@ package run
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 // DefaultCacheBound is the plan-cache capacity of a new Session, in
@@ -40,6 +42,12 @@ type CacheStats struct {
 	// store attached.
 	StoreHits   uint64
 	StoreMisses uint64
+	// PeerFills counts misses served by fetching the owning peer's
+	// plan over the cluster fill protocol (no local solve ran);
+	// PeerFallbacks counts fills that failed and degraded to a local
+	// solve.  Both stay zero with no cluster attached.
+	PeerFills     uint64
+	PeerFallbacks uint64
 	// Size is the current entry count; Bound is the capacity
 	// (0 means caching is disabled).
 	Size  int
@@ -48,7 +56,13 @@ type CacheStats struct {
 
 type cacheEntry struct {
 	key  cacheKey
+	fp   string // planFingerprint(key), indexed in byFP
 	plan *sched.Plan
+	// lean is the entry's encoded kernel-free fill frame, built lazily
+	// on the first peer fill served from this entry and shared by
+	// reference afterwards (fill responses only read it).  Nil for
+	// schemes that are not lean-framable.
+	lean []byte
 }
 
 // planCache is a mutex-guarded LRU map from planning problems to
@@ -59,6 +73,7 @@ type planCache struct {
 	bound     int
 	ll        *list.List // front = most recently used
 	items     map[cacheKey]*list.Element
+	byFP      map[string]*list.Element // same entries, keyed by plan fingerprint
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -70,6 +85,15 @@ type planCache struct {
 	store       BlobStore
 	storeHits   uint64
 	storeMisses uint64
+
+	// peers is the optional cluster tier consulted after the store
+	// (see peer.go).  Atomic because a cluster attaches after the
+	// server has already bound its listener — tests and the bench
+	// harness attach once the :0 port is known, possibly with
+	// requests in flight.
+	peers         atomic.Pointer[peerRef]
+	peerFills     uint64
+	peerFallbacks uint64
 
 	// flights holds the in-progress solves concurrent misses attach
 	// to (see singleflight.go).  A separate mutex so waiters never
@@ -86,6 +110,7 @@ func newPlanCache(bound int) *planCache {
 		bound:   bound,
 		ll:      list.New(),
 		items:   make(map[cacheKey]*list.Element),
+		byFP:    make(map[string]*list.Element),
 		flights: make(map[cacheKey]*flightCall),
 	}
 }
@@ -131,11 +156,19 @@ func (c *planCache) put(key cacheKey, plan *sched.Plan) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	// The fingerprint (a few µs of hashing, vs. the solve that just
+	// ran) doubles as the cluster-protocol index: an owner answers
+	// GET /v1/plans/{fp} straight from byFP without reconstructing
+	// the cache key.
+	el := c.ll.PushFront(&cacheEntry{key: key, fp: planFingerprint(key), plan: plan})
+	c.items[key] = el
+	c.byFP[el.Value.(*cacheEntry).fp] = el
 	for c.ll.Len() > c.bound {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.items, ent.key)
+		delete(c.byFP, ent.fp)
 		c.evictions++
 		obs.PlanCacheEvictions.Inc()
 	}
@@ -145,17 +178,78 @@ func (c *planCache) put(key cacheKey, plan *sched.Plan) {
 	obs.PlanCacheCapacity.Set(int64(c.bound))
 }
 
+// getByFingerprint looks an entry up by plan fingerprint — the
+// cluster fill path, where a peer's request carries only the content
+// hash.  No hit/miss accounting: the counters tell the local miss
+// story, and a peer's lookup is not a local miss.
+func (c *planCache) getByFingerprint(fp string) (*sched.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFP[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).plan, true
+	}
+	return nil, false
+}
+
+// leanByFingerprint returns the entry's cached kernel-free fill frame,
+// encoding it on first use.  ok=false means no entry, or the entry's
+// scheme cannot be lean-framed (the caller serves the full frame).
+// The encode runs outside the lock — a fill that loses the publish
+// race just wrote identical bytes (plan encodings are deterministic).
+func (c *planCache) leanByFingerprint(fp string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.lean != nil {
+		lean := ent.lean
+		c.mu.Unlock()
+		return lean, true
+	}
+	plan := ent.plan
+	c.mu.Unlock()
+	if plan.Scheme != wire.SchemeParaCONV {
+		return nil, false
+	}
+	lean := wire.AppendLeanPlan(nil, plan)
+	c.mu.Lock()
+	if el, ok := c.byFP[fp]; ok {
+		el.Value.(*cacheEntry).lean = lean
+	}
+	c.mu.Unlock()
+	return lean, true
+}
+
+func (c *planCache) recordPeerFill() {
+	c.mu.Lock()
+	c.peerFills++
+	c.mu.Unlock()
+}
+
+func (c *planCache) recordPeerFallback() {
+	c.mu.Lock()
+	c.peerFallbacks++
+	c.mu.Unlock()
+	obs.ClusterFallbackSolves.Inc()
+}
+
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		DedupHits:   c.dedupHits,
-		StoreHits:   c.storeHits,
-		StoreMisses: c.storeMisses,
-		Size:        c.ll.Len(),
-		Bound:       c.bound,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		DedupHits:     c.dedupHits,
+		StoreHits:     c.storeHits,
+		StoreMisses:   c.storeMisses,
+		PeerFills:     c.peerFills,
+		PeerFallbacks: c.peerFallbacks,
+		Size:          c.ll.Len(),
+		Bound:         c.bound,
 	}
 }

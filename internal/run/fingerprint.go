@@ -60,6 +60,41 @@ func GraphFingerprint(g *dag.Graph) string {
 	return fp
 }
 
+// planFingerprint flattens a cache key into the module's content
+// fingerprint for a complete planning problem: hex sha256 over the
+// '|'-joined key fields.  This one string is the durable store's file
+// key AND the {fp} of the cluster's GET /v1/plans/{fp} protocol —
+// sharing the keyspace is what lets an owner serve a peer's lookup
+// straight from the store's payload bytes.
+func planFingerprint(key cacheKey) string {
+	h := sha256.New()
+	io.WriteString(h, key.variant)
+	io.WriteString(h, "|")
+	io.WriteString(h, key.graph)
+	io.WriteString(h, "|")
+	io.WriteString(h, key.config)
+	io.WriteString(h, "|")
+	io.WriteString(h, key.extra)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PlanFingerprint returns the cluster-wide content fingerprint of one
+// planning problem, as routed by the consistent-hash ring and served
+// at GET /v1/plans/{fp}.  The empty variant normalizes to the default
+// full Para-CONV planner, mirroring the server's dispatch, so clients
+// and servers fingerprint identically.
+func PlanFingerprint(variant, extra string, g *dag.Graph, cfg pim.Config) string {
+	if variant == "" {
+		variant = variantParaCONV
+	}
+	return planFingerprint(cacheKey{
+		graph:   GraphFingerprint(g),
+		config:  ConfigFingerprint(cfg),
+		variant: variant,
+		extra:   extra,
+	})
+}
+
 // ConfigFingerprint returns a content key for a PIM configuration.
 // Config is a flat struct of scalars and a name, so the Go-syntax
 // representation is a complete, deterministic encoding.

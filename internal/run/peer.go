@@ -1,0 +1,149 @@
+package run
+
+import (
+	"context"
+
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/pim"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// PeerFiller is the cluster tier behind the durable store: on a miss
+// of both local tiers, a flight leader asks the fingerprint's owning
+// node for its plan before solving.  internal/cluster implements it;
+// run depends only on this interface so the cache layer stays free of
+// networking.
+type PeerFiller interface {
+	// Owns reports whether this node is the fingerprint's owner — in
+	// which case the local solve IS the cluster-wide solve and no fill
+	// is attempted.
+	Owns(fp string) bool
+	// Fill fetches the encoded plan for fp from its owner.  fill
+	// builds the wire peer-fill frame carrying the full problem so
+	// the owner can solve on the requester's behalf; it is invoked
+	// only when the owner's tiers miss (the warm path ships nothing
+	// but the fingerprint), and may be nil for lookup-only probes.
+	// The payload is a stored-plan or lean plan frame — callers
+	// holding the problem graph decode it with wire.DecodeFillPlan.
+	// ok=false means no peer could serve it; the caller falls back to
+	// a local solve.
+	Fill(ctx context.Context, fp string, fill func() []byte) (payload []byte, ok bool)
+}
+
+// peerRef boxes a PeerFiller for planCache's atomic.Pointer (a
+// pointer-to-interface, so attaching any concrete type is one atomic
+// store).
+type peerRef struct {
+	filler PeerFiller
+}
+
+// AttachPeers installs f as the cluster tier behind this session's
+// plan cache: consulted inside the singleflight leader after the
+// durable store, before the solver.  Sessions derived with
+// WithContext share the attachment.  Unlike AttachStore this is
+// attach-any-time: the daemon's cluster comes up after the listener
+// binds (the bench harness and tests attach once :0 resolves), so the
+// pointer is atomic.  A nil f detaches.
+func (s *Session) AttachPeers(f PeerFiller) {
+	if f == nil {
+		s.cache.peers.Store(nil)
+		return
+	}
+	s.cache.peers.Store(&peerRef{filler: f})
+}
+
+// peerFill runs the cluster-tier consultation for a flight leader:
+// ask the fingerprint's owner for the plan, decode and re-validate
+// it, promote it into both local tiers.  Returns (plan, nil) on a
+// successful fill, (nil, ctx error) when the requester's context died
+// mid-fill — the leader must die with it so the cache stays
+// unpoisoned and a follower retries leadership — and (nil, nil) to
+// degrade to a local solve.
+func (s *Session) peerFill(f PeerFiller, key cacheKey, g *dag.Graph, cfg pim.Config) (*sched.Plan, error) {
+	fp := planFingerprint(key)
+	if f.Owns(fp) {
+		return nil, nil
+	}
+	fillSpan := span.Start(s.ctx, "run.peerfill")
+	payload, ok := f.Fill(s.ctx, fp, func() []byte {
+		return wire.AppendPeerFill(nil, key.variant, cfg, g)
+	})
+	fillSpan.End()
+	if !ok {
+		// Distinguish "peer unavailable" from "my own caller is gone":
+		// the former degrades to a local solve, the latter must surface
+		// as the context's error so doFlight's follower-retry semantics
+		// see a cancelled leader, not a failed solve.
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.cache.recordPeerFallback()
+		return nil, nil
+	}
+	p, err := wire.DecodeFillPlan(payload, g, dag.Limits{})
+	if err != nil {
+		obs.Log().Warn("peer fill payload failed to decode, falling back to solve",
+			"variant", key.variant, "graph", key.graph, "err", err)
+		s.cache.recordPeerFallback()
+		return nil, nil
+	}
+	if err := p.Iter.Validate(); err != nil {
+		obs.Log().Warn("peer fill payload failed schedule validation, falling back to solve",
+			"variant", key.variant, "graph", key.graph, "err", err)
+		s.cache.recordPeerFallback()
+		return nil, nil
+	}
+	s.cache.recordPeerFill()
+	obs.Log().Debug("plan filled from peer", "variant", key.variant, "graph", key.graph)
+	s.cache.put(key, p)
+	if s.cache.store != nil {
+		s.cache.storeWriteThrough(key, p)
+	}
+	return p, nil
+}
+
+// EncodedPlanByFingerprint serves the owner's side of the fill
+// protocol: the encoded plan frame for fp from this session's local
+// tiers — the in-memory cache's fingerprint index first, then the
+// durable store's payload verbatim (the store key IS the
+// fingerprint).  ok=false means a full local miss; the server decides
+// whether to solve on the requester's behalf.
+func (s *Session) EncodedPlanByFingerprint(fp string) ([]byte, bool) {
+	if p, ok := s.cache.getByFingerprint(fp); ok {
+		return wire.AppendPlan(nil, p), true
+	}
+	if s.cache.store != nil {
+		if payload, ok := s.cache.store.Get(fp); ok {
+			return payload, true
+		}
+	}
+	return nil, false
+}
+
+// EncodedFillByFingerprint is EncodedPlanByFingerprint for fill
+// requests whose sender holds the problem graph: para-conv plans come
+// back as kernel-free lean frames — cached per entry on the memory
+// tier, byte-spliced out of the store payload on the durable tier —
+// and everything else falls back to the full frame.  Serving a fill is
+// an owner's hot path under a thundering fleet, so the lean bytes are
+// shared, not copied.
+func (s *Session) EncodedFillByFingerprint(fp string) ([]byte, bool) {
+	if lean, ok := s.cache.leanByFingerprint(fp); ok {
+		return lean, true
+	}
+	if p, ok := s.cache.getByFingerprint(fp); ok {
+		return wire.AppendPlan(nil, p), true
+	}
+	if s.cache.store != nil {
+		if payload, ok := s.cache.store.Get(fp); ok {
+			if lean, err := wire.PlanFrameToLean(payload); err == nil {
+				return lean, true
+			}
+			return payload, true
+		}
+	}
+	return nil, false
+}

@@ -45,6 +45,9 @@ type Session struct {
 	// the usual "pass ctx as a parameter" rule collapses into it.
 	ctx   context.Context
 	cache *planCache
+	// noPeer suppresses the cluster tier for this handle (see
+	// WithoutPeerFill); the shared cache is unaffected.
+	noPeer bool
 }
 
 // New returns a Session scoped to ctx with the default plan-cache
@@ -80,7 +83,17 @@ func (s *Session) WithContext(ctx context.Context) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{ctx: ctx, cache: s.cache}
+	return &Session{ctx: ctx, cache: s.cache, noPeer: s.noPeer}
+}
+
+// WithoutPeerFill returns a Session sharing this session's cache and
+// context that never consults the cluster tier.  This is the owner's
+// side of the fill protocol: a solve run on behalf of a peer must
+// terminate locally — two nodes with divergent breaker views of ring
+// ownership could otherwise bounce one fill between each other until
+// both time out.
+func (s *Session) WithoutPeerFill() *Session {
+	return &Session{ctx: s.ctx, cache: s.cache, noPeer: true}
 }
 
 // CacheStats returns a snapshot of the plan cache's counters.
@@ -138,6 +151,22 @@ func (s *Session) plan(variant, extra string, g *dag.Graph, cfg pim.Config,
 			storeSpan.End()
 			if ok {
 				obs.Log().Debug("plan store hit", "variant", variant, "graph", key.graph)
+				return p, nil
+			}
+		}
+		// Third tier: the cluster (when attached).  If another node
+		// owns this fingerprint, fetch its plan — shipping the full
+		// problem so the owner can solve it — before solving here.
+		// Only for problems the peer-fill frame can express: the
+		// given-schedule variant's extra (a schedule fingerprint) has
+		// no wire form, so it always solves locally.  A (nil, nil)
+		// return is the degradation path: fall through to the solver.
+		if pr := s.cache.peers.Load(); pr != nil && !s.noPeer && extra == "" {
+			p, err := s.peerFill(pr.filler, key, g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if p != nil {
 				return p, nil
 			}
 		}

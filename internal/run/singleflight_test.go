@@ -3,11 +3,16 @@ package run
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/dag"
 	"repro/internal/pim"
 	"repro/internal/sched"
 )
@@ -205,6 +210,111 @@ func TestDoFlightWaiterHonorsOwnContext(t *testing.T) {
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("waiter error = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPlanLeaderCancelDuringPeerFill races singleflight leadership
+// against the cluster tier: a flight leader cancelled while blocked in
+// a peer GET must die with its context's error without poisoning the
+// cache, and a follower with a live context must retry leadership,
+// absorb the peer's refusal as a counted fallback, and solve locally.
+func TestPlanLeaderCancelDuringPeerFill(t *testing.T) {
+	var fills atomic.Int32
+	firstFill := make(chan struct{})
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fills.Add(1) == 1 {
+			close(firstFill)
+			// Hold the leader's fill open; the test releases it after
+			// the race resolves (the cancelled client has long since
+			// abandoned the connection by then).
+			<-release
+			return
+		}
+		http.Error(w, "not_found", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	defer close(release) // LIFO: unblock the handler before Close waits on it
+	peer := srv.Listener.Addr().String()
+
+	cl, err := cluster.New(cluster.Config{
+		Self:          "127.0.0.1:1",
+		Peers:         []string{"127.0.0.1:1", peer},
+		ProbeInterval: time.Hour,
+		FillTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	s := New(context.Background())
+	s.AttachPeers(cl)
+	cfg := pim.Neurocube(16)
+
+	// Find a problem the httptest peer owns, so the flight leader
+	// actually issues a fill instead of solving as the owner.
+	var g *dag.Graph
+	var key cacheKey
+	for seed := int64(0); seed < 64; seed++ {
+		cand := testGraph(t, fmt.Sprintf("peercancel-%d", seed), 24, 50, 9100+seed)
+		k := cacheKey{graph: GraphFingerprint(cand), config: ConfigFingerprint(cfg), variant: variantParaCONV}
+		if cl.Owner(planFingerprint(k)) == peer {
+			g, key = cand, k
+			break
+		}
+	}
+	if g == nil {
+		t.Fatal("no candidate graph owned by the peer in 64 tries")
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.WithContext(leaderCtx).Plan(g, cfg)
+		leaderErr <- err
+	}()
+	<-firstFill // the leader is blocked inside the peer GET
+
+	followerDone := make(chan struct{})
+	var followerPlan *sched.Plan
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerPlan, followerErr = s.Plan(g, cfg)
+	}()
+	waitForWaiters(t, s.cache, key, 1)
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader error = %v, want context.Canceled", err)
+	}
+	<-followerDone
+	if followerErr != nil {
+		t.Fatalf("follower error = %v, want a local-solve fallback", followerErr)
+	}
+	if err := followerPlan.Iter.Validate(); err != nil {
+		t.Fatalf("follower's fallback plan invalid: %v", err)
+	}
+	if n := fills.Load(); n < 2 {
+		t.Errorf("peer saw %d fill requests, want 2 (cancelled leader + retrying follower)", n)
+	}
+
+	st := s.CacheStats()
+	if st.PeerFills != 0 {
+		t.Errorf("PeerFills = %d, want 0 (no fill completed)", st.PeerFills)
+	}
+	if st.PeerFallbacks != 1 {
+		t.Errorf("PeerFallbacks = %d, want 1 (the follower's refused fill)", st.PeerFallbacks)
+	}
+	if st.Size != 1 {
+		t.Errorf("cache holds %d entries after the race, want the follower's 1", st.Size)
+	}
+	// The cancelled flight must not have poisoned the cache: a fresh
+	// caller gets the follower's cached plan without another flight.
+	p, err := s.Plan(g, cfg)
+	if err != nil || p != followerPlan {
+		t.Fatalf("post-race Plan = (%p, %v), want the follower's cached plan %p", p, err, followerPlan)
 	}
 }
 

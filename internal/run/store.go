@@ -26,11 +26,12 @@ func (s *Session) AttachStore(st BlobStore) {
 	s.cache.store = st
 }
 
-// storeKey flattens a cache key into the store's string keyspace.  The
-// fields are length-free fingerprints/identifiers, so '|' cannot
-// collide across them.
+// storeKey is the durable tier's keyspace: the plan fingerprint.  The
+// same content hash addresses plans in the cluster's /v1/plans/{fp}
+// protocol, so a restarted owner serves peer lookups from its store
+// files verbatim.
 func storeKey(key cacheKey) string {
-	return key.variant + "|" + key.graph + "|" + key.config + "|" + key.extra
+	return planFingerprint(key)
 }
 
 // storeLookup consults the durable tier for key.  A hit must decode

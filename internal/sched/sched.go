@@ -91,7 +91,15 @@ func (s *IterationSchedule) Validate() error {
 	if len(s.Assignment) != s.Graph.NumEdges() {
 		errs = append(errs, fmt.Errorf("sched: assignment covers %d/%d edges", len(s.Assignment), s.Graph.NumEdges()))
 	}
-	byPE := make(map[pim.PEID][]Task)
+	// The overlap check buckets tasks by PE through one counting pass
+	// and one scatter pass into a single backing slice, then
+	// insertion-sorts each PE's short run by start time.  Validate
+	// guards every decoded plan — store hits and cluster peer fills —
+	// so it stays off maps and sort closures; PE counts above the task
+	// count fall back to counting only the PEs in use (a frame can
+	// declare any PE count it likes, and the counts slice must not
+	// scale with a lie).
+	inRange := 0
 	for i := range s.Tasks {
 		t := s.Tasks[i]
 		if t.Node != dag.NodeID(i) {
@@ -99,6 +107,8 @@ func (s *IterationSchedule) Validate() error {
 		}
 		if t.PE < 0 || int(t.PE) >= s.PEs {
 			errs = append(errs, fmt.Errorf("sched: task %d on PE %d; want in [0,%d)", i, t.PE, s.PEs))
+		} else {
+			inRange++
 		}
 		if t.Start < 0 || t.Finish > s.Period {
 			errs = append(errs, fmt.Errorf("sched: task %d window [%d,%d] outside [0,%d]", i, t.Start, t.Finish, s.Period))
@@ -106,27 +116,81 @@ func (s *IterationSchedule) Validate() error {
 		if got, want := t.Finish-t.Start, s.Graph.Node(dag.NodeID(i)).Exec; got != want {
 			errs = append(errs, fmt.Errorf("sched: task %d duration %d; Exec is %d", i, got, want))
 		}
-		byPE[t.PE] = append(byPE[t.PE], t)
 	}
-	// Iterate PEs in sorted order so the joined error text (part of
-	// golden test output and reports) is deterministic.
-	pes := make([]pim.PEID, 0, len(byPE))
-	for pe := range byPE {
-		pes = append(pes, pe)
+	if s.PEs < 0 {
+		// Every task already errored as out of range; there is no PE
+		// axis to check overlaps on.
+		return errors.Join(errs...)
 	}
-	sort.Slice(pes, func(a, b int) bool { return pes[a] < pes[b] })
-	for _, pe := range pes {
-		tasks := byPE[pe]
-		sort.Slice(tasks, func(a, b int) bool { return tasks[a].Start < tasks[b].Start })
-		for i := 1; i < len(tasks); i++ {
-			if tasks[i].Start < tasks[i-1].Finish {
-				errs = append(errs, fmt.Errorf("sched: PE %d: tasks %d and %d overlap ([%d,%d] vs [%d,%d])",
-					pe, tasks[i-1].Node, tasks[i].Node,
-					tasks[i-1].Start, tasks[i-1].Finish, tasks[i].Start, tasks[i].Finish))
+	if s.PEs > 4*len(s.Tasks)+4096 {
+		// Absurdly wide PE declaration relative to the task count:
+		// check overlaps through a flat (PE, start) sort instead of
+		// per-PE buckets.  Only reachable through hostile or corrupt
+		// frames, so clarity beats speed here.
+		flat := make([]Task, 0, inRange)
+		for _, t := range s.Tasks {
+			if t.PE >= 0 && int(t.PE) < s.PEs {
+				flat = append(flat, t)
+			}
+		}
+		sort.SliceStable(flat, func(a, b int) bool {
+			if flat[a].PE != flat[b].PE {
+				return flat[a].PE < flat[b].PE
+			}
+			return flat[a].Start < flat[b].Start
+		})
+		for i := 1; i < len(flat); i++ {
+			if flat[i].PE == flat[i-1].PE && flat[i].Start < flat[i-1].Finish {
+				errs = append(errs, overlapError(flat[i].PE, flat[i-1], flat[i]))
+			}
+		}
+		return errors.Join(errs...)
+	}
+	counts := make([]int, s.PEs+1)
+	for _, t := range s.Tasks {
+		if t.PE >= 0 && int(t.PE) < s.PEs {
+			counts[t.PE+1]++
+		}
+	}
+	for pe := 1; pe <= s.PEs; pe++ {
+		counts[pe] += counts[pe-1]
+	}
+	byPE := make([]Task, inRange)
+	next := counts
+	for _, t := range s.Tasks {
+		if t.PE >= 0 && int(t.PE) < s.PEs {
+			byPE[next[t.PE]] = t
+			next[t.PE]++
+		}
+	}
+	// next[pe] now holds each run's end offset (= the original prefix
+	// sum shifted by one use), so run pe spans [next[pe-1], next[pe]) —
+	// iterated in PE order, keeping the joined error text (part of
+	// golden test output and reports) deterministic.
+	start := 0
+	for pe := 0; pe < s.PEs; pe++ {
+		run := byPE[start:next[pe]]
+		start = next[pe]
+		// Stable insertion sort by start time: runs are short (tasks
+		// spread across the array), and stability keeps tie order — and
+		// therefore error text — deterministic.
+		for i := 1; i < len(run); i++ {
+			for j := i; j > 0 && run[j].Start < run[j-1].Start; j-- {
+				run[j], run[j-1] = run[j-1], run[j]
+			}
+		}
+		for i := 1; i < len(run); i++ {
+			if run[i].Start < run[i-1].Finish {
+				errs = append(errs, overlapError(pim.PEID(pe), run[i-1], run[i]))
 			}
 		}
 	}
 	return errors.Join(errs...)
+}
+
+func overlapError(pe pim.PEID, a, b Task) error {
+	return fmt.Errorf("sched: PE %d: tasks %d and %d overlap ([%d,%d] vs [%d,%d])",
+		pe, a.Node, b.Node, a.Start, a.Finish, b.Start, b.Finish)
 }
 
 // CheckDependencies verifies that every edge's consumer starts no

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/run"
+	"repro/internal/wire"
+)
+
+// planByFingerprint implements GET /v1/plans/{fp}: the owner's side of
+// the cluster fill protocol, and a plain content-addressed plan lookup
+// for anyone else.  The fingerprint is looked up in the local tiers
+// (in-memory cache, then durable store); on a full miss, a request
+// body — a wire peer-fill frame carrying the complete planning problem
+// — lets this node solve on the requester's behalf, through the same
+// worker pool and admission queue as every other solve (a 429 shed
+// degrades the requester to its own local solve).  A bodiless miss is
+// a 404.  The response body is the binary stored-plan frame — or, when
+// the request carries X-Paraconv-Rebuild (the sender holds the problem
+// graph and can derive a para-conv kernel itself), the kernel-free
+// lean frame, which skips both the owner's graph encode and the
+// requester's graph decode on the cluster's warm path.
+//
+// Fills are served whatever this node's own ring view says about
+// ownership: the requester routed here off its view, and answering is
+// correct even when the views disagree (the solve itself never
+// re-enters the cluster tier, so divergent views cannot loop).
+func (s *Server) planByFingerprint(w http.ResponseWriter, r *http.Request) {
+	stop := obs.ServerRequestTimer("plans").Start()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		stop()
+		obs.ServerRequests("plans", statusClass(sr.status)).Inc()
+	}()
+	obs.ClusterForwards.Inc()
+
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		// The fingerprint doubles as the durable store's file key, so
+		// nothing but the canonical hex form may reach a lookup.
+		writeError(sr, http.StatusBadRequest, "bad_fingerprint",
+			"fingerprint must be 64 lowercase hex characters")
+		return
+	}
+
+	lean := r.Header.Get("X-Paraconv-Rebuild") != ""
+	if lean {
+		if payload, ok := s.session.EncodedFillByFingerprint(fp); ok {
+			writePlanFrame(sr, payload)
+			return
+		}
+	} else if payload, ok := s.session.EncodedPlanByFingerprint(fp); ok {
+		writePlanFrame(sr, payload)
+		return
+	}
+
+	body := http.MaxBytesReader(sr, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(sr, http.StatusRequestEntityTooLarge, "too_large",
+				"fill body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(sr, http.StatusBadRequest, "bad_request", "reading fill body: %v", err)
+		return
+	}
+	if len(data) == 0 {
+		writeError(sr, http.StatusNotFound, "not_found", "no plan stored for %s", fp)
+		return
+	}
+
+	pf, g, err := wire.DecodePeerFill(data, dag.Limits{MaxNodes: s.cfg.MaxGraphNodes, MaxEdges: s.cfg.MaxGraphEdges})
+	if err != nil {
+		var lim *dag.LimitError
+		var graphErr *wire.GraphError
+		switch {
+		case errors.As(err, &lim):
+			writeError(sr, http.StatusBadRequest, "graph_too_large", "%v", lim)
+		case errors.Is(err, wire.ErrNoGraph):
+			writeError(sr, http.StatusBadRequest, "bad_graph", "fill frame has no graph")
+		case errors.As(err, &graphErr):
+			writeError(sr, http.StatusBadRequest, "bad_graph", "%v", err)
+		default:
+			writeError(sr, http.StatusBadRequest, "bad_request", "decoding fill frame: %v", err)
+		}
+		return
+	}
+	if run.PlanFingerprint(pf.Variant, "", g, pf.Config) != fp {
+		// A mismatch means the requester and this node disagree on what
+		// the problem hashes to — solving would poison the keyspace
+		// under the requested fingerprint's name.
+		writeError(sr, http.StatusBadRequest, "fingerprint_mismatch",
+			"fill frame does not hash to %s", fp)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	type result struct {
+		payload []byte
+		err     error
+	}
+	done := make(chan result, 1)
+	job := func() {
+		if err := ctx.Err(); err != nil {
+			done <- result{err: err}
+			return
+		}
+		obs.ServerInflight.Add(1)
+		defer obs.ServerInflight.Add(-1)
+		p, err := planVariant(s.session.WithContext(ctx).WithoutPeerFill(), pf.Variant, g, pf.Config)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		if lean && p.Scheme == wire.SchemeParaCONV {
+			done <- result{payload: wire.AppendLeanPlan(nil, p)}
+			return
+		}
+		done <- result{payload: wire.AppendPlan(nil, p)}
+	}
+	if !s.pool.trySubmit(job) {
+		obs.ServerShed.Inc()
+		obs.Log().Warn("fill solve shed", "fp", fp, "queue_depth", s.cfg.QueueDepth)
+		sr.Header().Set("Retry-After", "1")
+		writeError(sr, http.StatusTooManyRequests, "shed", "admission queue full (%d deep); retry later", s.cfg.QueueDepth)
+		return
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			writeSolveError(sr, res.err)
+			return
+		}
+		writePlanFrame(sr, res.payload)
+	case <-ctx.Done():
+		writeSolveError(sr, ctx.Err())
+	}
+}
+
+// writePlanFrame writes a binary stored-plan payload.  Content-Length
+// is explicit because the cluster's lean client refuses chunked
+// responses.
+func writePlanFrame(w http.ResponseWriter, payload []byte) {
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// validFingerprint reports whether fp is a canonical plan fingerprint:
+// exactly the hex sha256 form run.PlanFingerprint produces.
+func validFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
@@ -155,6 +156,11 @@ type Server struct {
 	sampler  *span.Sampler
 	ring     *span.Ring
 	sloEval  *slo.Evaluator
+	// cluster is the attached fleet view, when this node runs sharded
+	// (see AttachCluster).  Atomic because attachment happens after
+	// Start: the daemon needs its bound address to know its own member
+	// id when the operator asked for port 0.
+	cluster atomic.Pointer[cluster.Cluster]
 }
 
 // New builds a Server from cfg.  Close (or Running.Drain) must be
@@ -216,6 +222,11 @@ func New(cfg Config) *Server {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.jobCancel)
+	// Content-addressed plan lookup + the cluster fill protocol's
+	// server side.  Registered unconditionally: without a cluster it
+	// is still a useful cache probe, and an owner must answer fills
+	// even when its own breaker view disagrees about ownership.
+	mux.HandleFunc("GET /v1/plans/{fp}", s.planByFingerprint)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -227,7 +238,26 @@ func New(cfg Config) *Server {
 			fmt.Fprintln(w, "draining")
 			return
 		}
+		// A durable store that can no longer write is a readiness
+		// failure: every solve would limp through failed write-throughs
+		// and a restart would lose the cache.  (Readiness, not health —
+		// /healthz stays 200 so the cluster's peers keep probing a node
+		// whose disk filled, and pick it back up when space returns.)
+		if p, ok := cfg.Store.(storeProber); ok {
+			if err := p.Probe(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "store: %v\n", err)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ready")
+		// Ring degradation is surfaced but never fails readiness:
+		// every fill failure falls back to a local solve, so a node
+		// alone in its ring still serves correctly.
+		if cl := s.cluster.Load(); cl != nil {
+			live, total := cl.Health()
+			fmt.Fprintf(w, "cluster: %d/%d members live\n", live, total)
+		}
 	})
 	// The obs debug endpoints share the daemon's listener so a
 	// deployment scrapes one port.
@@ -248,7 +278,38 @@ func New(cfg Config) *Server {
 func (s *Server) SLOReport() slo.Report { return s.sloEval.Report() }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Every response names the serving node in X-Paraconv-Node once a
+// cluster is attached, so a client of the sharded fleet can see which
+// member answered without correlating ports.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if cl := s.cluster.Load(); cl != nil {
+			w.Header().Set("X-Paraconv-Node", cl.Self())
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// storeProber is the optional readiness hook a durable store exposes
+// (satisfied by *store.Store).
+type storeProber interface{ Probe() error }
+
+// AttachCluster installs cl as this node's fleet view: the shared
+// session gains the cluster miss tier, /readyz surfaces ring health,
+// and responses carry the node id.  Called after Start (the member id
+// must match the bound address when the operator asked for port 0);
+// the fields involved are atomic, so requests already in flight
+// simply miss the tier.  AttachCluster does not take ownership — the
+// caller still closes cl.
+func (s *Server) AttachCluster(cl *cluster.Cluster) {
+	if cl == nil {
+		s.cluster.Store(nil)
+		s.session.AttachPeers(nil)
+		return
+	}
+	s.cluster.Store(cl)
+	s.session.AttachPeers(cl)
+}
 
 // CacheStats exposes the shared plan cache's counters.
 func (s *Server) CacheStats() run.CacheStats { return s.session.CacheStats() }

@@ -160,6 +160,40 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// Probe verifies the store can still commit an entry: create a temp
+// file in the data dir, write to it, rename it in-dir, remove it —
+// exactly the syscall sequence writeAtomic needs, so a passing probe
+// means the next write-through will not hit a full disk, a read-only
+// remount, or a yanked data dir.  The daemon probes once at startup
+// (fail fast on a misconfigured -data-dir) and /readyz probes on
+// every poll.  Probe files carry tmpPrefix, so one orphaned by a
+// crash mid-probe is swept by the next Open like any torn write.
+func (s *Store) Probe() error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"probe-*")
+	if err != nil {
+		return fmt.Errorf("store: probe create: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write([]byte("probe")); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: probe write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: probe close: %w", err)
+	}
+	dst := tmp + ".renamed"
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: probe rename: %w", err)
+	}
+	if err := os.Remove(dst); err != nil {
+		return fmt.Errorf("store: probe cleanup: %w", err)
+	}
+	return nil
+}
+
 // publish mirrors the resident tallies to the shared gauges; callers
 // hold s.mu or have exclusive access.
 func (s *Store) publish() {

@@ -371,6 +371,20 @@ func (d *decoder) finish() error {
 }
 
 func (d *decoder) varint(what string) (int64, error) {
+	// One- and two-byte fast paths: plan frames are dominated by small
+	// integers (task times bounded by the period, retiming values near
+	// zero), and binary.Varint's general loop costs more than the
+	// decode itself at the frame decoder's call rates.
+	if d.off+1 < len(d.data) {
+		if b := d.data[d.off]; b < 0x80 {
+			d.off++
+			return int64(b>>1) ^ -int64(b&1), nil
+		} else if b1 := d.data[d.off+1]; b1 < 0x80 {
+			u := uint64(b&0x7f) | uint64(b1)<<7
+			d.off += 2
+			return int64(u>>1) ^ -int64(u&1), nil
+		}
+	}
 	v, n := binary.Varint(d.data[d.off:])
 	if n <= 0 {
 		return 0, d.truncated(what)
@@ -427,6 +441,14 @@ func (d *decoder) ints(what string, dst []int) ([]int, error) {
 	n, err := d.length(what)
 	if err != nil {
 		return dst, err
+	}
+	// length bounded n against the remaining bytes, so pre-sizing
+	// cannot reserve unbacked memory — and saves the append path's
+	// grow-and-copy churn on the frame decoder's array fields.
+	if cap(dst)-len(dst) < n {
+		grown := make([]int, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
 	}
 	for i := 0; i < n; i++ {
 		v, err := d.integer(what)

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"repro/internal/dag"
+	"repro/internal/pim"
+)
+
+// The peer-fill frame is the request body of the cluster's
+// GET /v1/plans/{fp} fill protocol (internal/cluster): a non-owner
+// node that misses its local tiers ships the complete planning problem
+// — variant, architecture configuration, and the kernel graph as the
+// trailing dag frame — to the fingerprint's owner, which answers with
+// a stored-plan frame (AppendPlan).  Carrying the full problem, not
+// just the fingerprint, is what lets the owner solve on behalf of the
+// whole fleet when it has never seen the graph either: that is how N
+// identical bursts across the cluster collapse to one solve.
+//
+// Every pim.Config field is carried explicitly so the owner's
+// reconstructed config fingerprint is byte-identical to the
+// requester's; the dag binary codec round-trips exactly, so the graph
+// fingerprint matches too, and the owner can verify the URL's
+// fingerprint against the body before doing any work.
+
+// kindPeerFill is the frame kind byte of a cluster peer-fill request.
+const kindPeerFill = 'F'
+
+// PeerFill is one decoded fill request: the planner variant and the
+// target architecture.  The graph travels as the trailing dag frame
+// and is returned separately by DecodePeerFill.
+type PeerFill struct {
+	Variant string
+	Config  pim.Config
+}
+
+// AppendPeerFill appends the binary encoding of a fill request to dst.
+func AppendPeerFill(dst []byte, variant string, cfg pim.Config, g *dag.Graph) []byte {
+	dst = appendHeader(dst, kindPeerFill)
+	dst = appendString(dst, variant)
+	dst = appendString(dst, cfg.Name)
+	dst = appendInt(dst, cfg.NumPEs)
+	dst = appendInt(dst, cfg.CacheUnitsPerPE)
+	dst = appendInt(dst, cfg.CacheBytesPerUnit)
+	dst = appendInt(dst, cfg.NumVaults)
+	dst = appendInt(dst, cfg.RegFileEntries)
+	dst = appendInt(dst, cfg.PFIFODepth)
+	dst = appendInt(dst, cfg.IFIFODepth)
+	dst = appendInt(dst, cfg.OFIFODepth)
+	dst = appendInt(dst, cfg.CacheAccessCycles)
+	dst = appendInt(dst, cfg.EDRAMAccessCycles)
+	dst = appendInt(dst, cfg.HopCycles)
+	dst = appendFloat(dst, cfg.CacheEnergyPJPerByte)
+	dst = appendFloat(dst, cfg.EDRAMEnergyPJPerByte)
+	dst = appendInt(dst, cfg.CyclesPerTimeUnit)
+	if g != nil {
+		dst = dag.AppendBinary(dst, g)
+	}
+	return dst
+}
+
+// DecodePeerFill parses a fill frame and decodes the trailing graph
+// under lim.  A missing graph is ErrNoGraph; graph failures surface as
+// *GraphError so servers map them like any other bad graph.
+func DecodePeerFill(data []byte, lim dag.Limits) (*PeerFill, *dag.Graph, error) {
+	d, err := newDecoder(data, kindPeerFill)
+	if err != nil {
+		return nil, nil, err
+	}
+	pf := &PeerFill{}
+	if pf.Variant, err = d.str("variant"); err != nil {
+		return nil, nil, err
+	}
+	if pf.Config.Name, err = d.str("config name"); err != nil {
+		return nil, nil, err
+	}
+	for _, f := range []struct {
+		what string
+		dst  *int
+	}{
+		{"num_pes", &pf.Config.NumPEs},
+		{"cache_units_per_pe", &pf.Config.CacheUnitsPerPE},
+		{"cache_bytes_per_unit", &pf.Config.CacheBytesPerUnit},
+		{"num_vaults", &pf.Config.NumVaults},
+		{"regfile_entries", &pf.Config.RegFileEntries},
+		{"pfifo_depth", &pf.Config.PFIFODepth},
+		{"ififo_depth", &pf.Config.IFIFODepth},
+		{"ofifo_depth", &pf.Config.OFIFODepth},
+		{"cache_access_cycles", &pf.Config.CacheAccessCycles},
+		{"edram_access_cycles", &pf.Config.EDRAMAccessCycles},
+		{"hop_cycles", &pf.Config.HopCycles},
+	} {
+		if *f.dst, err = d.integer(f.what); err != nil {
+			return nil, nil, err
+		}
+	}
+	if pf.Config.CacheEnergyPJPerByte, err = d.float("cache_energy_pj"); err != nil {
+		return nil, nil, err
+	}
+	if pf.Config.EDRAMEnergyPJPerByte, err = d.float("edram_energy_pj"); err != nil {
+		return nil, nil, err
+	}
+	if pf.Config.CyclesPerTimeUnit, err = d.integer("cycles_per_time_unit"); err != nil {
+		return nil, nil, err
+	}
+	if d.off == len(d.data) {
+		return nil, nil, ErrNoGraph
+	}
+	g, err := dag.DecodeBinary(d.data[d.off:], lim)
+	if err != nil {
+		return nil, nil, &GraphError{Err: err}
+	}
+	return pf, g, nil
+}

@@ -23,6 +23,22 @@ import (
 // kindStoredPlan is the frame kind byte of a durable stored plan.
 const kindStoredPlan = 'L'
 
+// kindLeanPlan is the frame kind byte of a kernel-free plan: the same
+// fields as a stored plan minus the embedded graph.  It exists for the
+// cluster fill protocol, where the requester already holds the problem
+// graph the plan was solved from — for the para-conv scheme the kernel
+// is Replicate(graph, ConcurrentIterations) by construction (see
+// internal/sched), so shipping it is pure redundancy.  Lean frames are
+// a transport-only format: the durable store always keeps the
+// self-contained stored-plan frame.
+const kindLeanPlan = 'l'
+
+// SchemeParaCONV is the plan scheme whose kernel graph is derivable
+// from the problem graph (Iter.Graph == Replicate(g, CI) for every
+// para-conv plan the solvers build), making it eligible for lean
+// framing.
+const SchemeParaCONV = "para-conv"
+
 func appendPlacements(dst []byte, a retime.Assignment) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(a)))
 	for _, p := range a {
@@ -38,18 +54,9 @@ func appendRetimeResult(dst []byte, r *retime.Result) []byte {
 	return appendInt(dst, r.Period)
 }
 
-// AppendPlan appends the binary encoding of a complete plan to dst.
-//
-//paraconv:hotpath
-func AppendPlan(dst []byte, p *sched.Plan) []byte {
-	dst = appendHeader(dst, kindStoredPlan)
-	dst = appendString(dst, p.Scheme)
-	// The kernel graph is length-prefixed because plan fields follow
-	// it; the dag decoder is handed exactly its slice.
-	mark := len(dst)
-	dst = append(dst, 0, 0, 0, 0) // fixed 4-byte length backpatched below
-	dst = dag.AppendBinary(dst, p.Iter.Graph)
-	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+// appendPlanBody appends every plan field after the kernel graph —
+// the part stored-plan and lean frames share.
+func appendPlanBody(dst []byte, p *sched.Plan) []byte {
 	dst = appendInt(dst, p.Iter.PEs)
 	dst = appendInt(dst, p.Iter.Period)
 	dst = binary.AppendUvarint(dst, uint64(len(p.Iter.Tasks)))
@@ -67,6 +74,71 @@ func AppendPlan(dst []byte, p *sched.Plan) []byte {
 	dst = appendRetimeResult(dst, &p.LogicalRetiming)
 	dst = appendInt(dst, p.CachedIPRs)
 	return appendInt(dst, p.CacheLoadUnits)
+}
+
+// AppendPlan appends the binary encoding of a complete plan to dst.
+//
+//paraconv:hotpath
+func AppendPlan(dst []byte, p *sched.Plan) []byte {
+	dst = appendHeader(dst, kindStoredPlan)
+	dst = appendString(dst, p.Scheme)
+	// The kernel graph is length-prefixed because plan fields follow
+	// it; the dag decoder is handed exactly its slice.
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // fixed 4-byte length backpatched below
+	dst = dag.AppendBinary(dst, p.Iter.Graph)
+	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	return appendPlanBody(dst, p)
+}
+
+// AppendLeanPlan appends the kernel-free encoding of p to dst.  Only
+// para-conv plans are lean-framable (their kernel is derivable from
+// the problem graph); callers gate on p.Scheme.
+//
+//paraconv:hotpath
+func AppendLeanPlan(dst []byte, p *sched.Plan) []byte {
+	dst = appendHeader(dst, kindLeanPlan)
+	dst = appendString(dst, p.Scheme)
+	return appendPlanBody(dst, p)
+}
+
+// LeanPlanFrame reports whether data is a lean (kernel-free) plan
+// frame, so fill clients can pick the matching decoder without
+// committing to a parse.
+func LeanPlanFrame(data []byte) bool {
+	return len(data) >= 4 && data[0] == 'P' && data[1] == 'C' && data[2] == kindLeanPlan
+}
+
+// PlanFrameToLean converts a stored-plan frame to its lean form by
+// splicing the embedded kernel graph out — a byte copy, not a
+// re-encode, so an owner can serve a lean fill straight from a durable
+// store payload without decoding it.  Only para-conv frames convert;
+// anything else (including malformed input) returns an error and the
+// caller serves the original frame.
+func PlanFrameToLean(frame []byte) ([]byte, error) {
+	d, err := newDecoder(frame, kindStoredPlan)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := d.str("scheme")
+	if err != nil {
+		return nil, err
+	}
+	if scheme != SchemeParaCONV {
+		return nil, fmt.Errorf("wire: scheme %q plans are not lean-framable", scheme)
+	}
+	if len(d.data)-d.off < 4 {
+		return nil, d.truncated("graph length")
+	}
+	glen := int(binary.LittleEndian.Uint32(d.data[d.off:]))
+	d.off += 4
+	if glen > len(d.data)-d.off {
+		return nil, fmt.Errorf("wire: graph length %d exceeds the %d input bytes remaining", glen, len(d.data)-d.off)
+	}
+	out := make([]byte, 0, len(frame)-glen-4)
+	out = appendHeader(out, kindLeanPlan)
+	out = appendString(out, scheme)
+	return append(out, d.data[d.off+glen:]...), nil
 }
 
 func (d *decoder) placements(what string) (retime.Assignment, error) {
@@ -132,15 +204,25 @@ func DecodePlan(data []byte, lim dag.Limits) (*sched.Plan, error) {
 	}
 	d.off += glen
 	p.Iter.Graph = g
-	if p.Iter.PEs, err = d.integer("pes"); err != nil {
+	if err := d.planBody(p); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// planBody decodes every plan field after the kernel graph and seals
+// the frame.
+func (d *decoder) planBody(p *sched.Plan) error {
+	var err error
+	if p.Iter.PEs, err = d.integer("pes"); err != nil {
+		return err
+	}
 	if p.Iter.Period, err = d.integer("period"); err != nil {
-		return nil, err
+		return err
 	}
 	ntasks, err := d.length("tasks")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ntasks > 0 {
 		p.Iter.Tasks = make([]sched.Task, ntasks)
@@ -148,44 +230,86 @@ func DecodePlan(data []byte, lim dag.Limits) (*sched.Plan, error) {
 			t := &p.Iter.Tasks[i]
 			var v int
 			if v, err = d.integer("task node"); err != nil {
-				return nil, err
+				return err
 			}
 			t.Node = dag.NodeID(v)
 			if v, err = d.integer("task pe"); err != nil {
-				return nil, err
+				return err
 			}
 			t.PE = pim.PEID(v)
 			if t.Start, err = d.integer("task start"); err != nil {
-				return nil, err
+				return err
 			}
 			if t.Finish, err = d.integer("task finish"); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	if p.Iter.Assignment, err = d.placements("assignment"); err != nil {
-		return nil, err
+		return err
 	}
 	if p.ConcurrentIterations, err = d.integer("concurrent_iterations"); err != nil {
-		return nil, err
+		return err
 	}
 	if p.RMax, err = d.integer("r_max"); err != nil {
-		return nil, err
+		return err
 	}
 	if err = d.retimeResult("retiming", &p.Retiming); err != nil {
-		return nil, err
+		return err
 	}
 	if err = d.retimeResult("logical_retiming", &p.LogicalRetiming); err != nil {
-		return nil, err
+		return err
 	}
 	if p.CachedIPRs, err = d.integer("cached_iprs"); err != nil {
-		return nil, err
+		return err
 	}
 	if p.CacheLoadUnits, err = d.integer("cache_load_units"); err != nil {
+		return err
+	}
+	return d.finish()
+}
+
+// DecodeLeanPlan parses a kernel-free plan frame against g, the
+// problem graph the requester already holds, rebuilding the kernel the
+// solver would have built: for one concurrent iteration the kernel IS
+// the problem graph (aliased, exactly as sched.ParaCONVGivenSchedule
+// plans alias their caller's graph), otherwise Replicate derives it.
+// The decoded schedule still carries no proof it matches g — callers
+// validate it, exactly like a store hit.
+//
+//paraconv:hotpath
+func DecodeLeanPlan(data []byte, g *dag.Graph) (*sched.Plan, error) {
+	d, err := newDecoder(data, kindLeanPlan)
+	if err != nil {
 		return nil, err
 	}
-	if err := d.finish(); err != nil {
+	p := &sched.Plan{}
+	if p.Scheme, err = d.str("scheme"); err != nil {
 		return nil, err
+	}
+	if p.Scheme != SchemeParaCONV {
+		return nil, fmt.Errorf("wire: lean frame carries scheme %q; only %s kernels are derivable", p.Scheme, SchemeParaCONV)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("wire: lean plan frame needs the problem graph to rebuild its kernel")
+	}
+	if err := d.planBody(p); err != nil {
+		return nil, err
+	}
+	if p.ConcurrentIterations == 1 {
+		p.Iter.Graph = g
+	} else if p.Iter.Graph, err = dag.Replicate(g, p.ConcurrentIterations); err != nil {
+		return nil, fmt.Errorf("wire: rebuilding lean plan kernel: %w", err)
 	}
 	return p, nil
+}
+
+// DecodeFillPlan decodes a fill payload of either framing: lean
+// against the problem graph, or the self-contained stored-plan frame
+// under lim.
+func DecodeFillPlan(data []byte, g *dag.Graph, lim dag.Limits) (*sched.Plan, error) {
+	if LeanPlanFrame(data) {
+		return DecodeLeanPlan(data, g)
+	}
+	return DecodePlan(data, lim)
 }

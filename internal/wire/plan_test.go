@@ -167,3 +167,112 @@ func TestPlanDecodeGraphLimits(t *testing.T) {
 		t.Fatalf("cap violation surfaced as %T (%v), want *dag.LimitError", err, err)
 	}
 }
+
+// leanPlan builds a plan whose kernel replicates the problem graph
+// across several concurrent iterations, so lean decoding exercises the
+// Replicate rebuild, not just the aliasing fast path.
+func leanPlan(t *testing.T) (*sched.Plan, *dag.Graph) {
+	t.Helper()
+	g, err := synth.Generate(synth.Params{Name: "wirelean", Vertices: 6, Edges: 8, Seed: 11})
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	p, err := sched.ParaCONV(g, pim.Neurocube(16))
+	if err != nil {
+		t.Fatalf("ParaCONV: %v", err)
+	}
+	return p, g
+}
+
+func TestLeanPlanRoundTrip(t *testing.T) {
+	plan, g := leanPlan(t)
+	if plan.ConcurrentIterations <= 1 {
+		t.Fatalf("fixture has CI=%d; want a multi-group plan to exercise the kernel rebuild", plan.ConcurrentIterations)
+	}
+	frame := AppendLeanPlan(nil, plan)
+	full := AppendPlan(nil, plan)
+	if len(frame) >= len(full) {
+		t.Errorf("lean frame is %d bytes, full frame %d — stripping the kernel saved nothing", len(frame), len(full))
+	}
+	if !LeanPlanFrame(frame) || LeanPlanFrame(full) {
+		t.Error("LeanPlanFrame misclassifies the framings")
+	}
+	got, err := DecodeLeanPlan(frame, g)
+	if err != nil {
+		t.Fatalf("DecodeLeanPlan: %v", err)
+	}
+	plansEqual(t, plan, got)
+	if err := got.Iter.Validate(); err != nil {
+		t.Fatalf("lean-decoded plan fails schedule validation: %v", err)
+	}
+}
+
+func TestLeanPlanAliasesSingleIterationKernel(t *testing.T) {
+	g, err := synth.Generate(synth.Params{Name: "wireplan", Vertices: 40, Edges: 90, Seed: 7})
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	plan, err := sched.ParaCONV(g, pim.Neurocube(4))
+	if err != nil {
+		t.Fatalf("ParaCONV: %v", err)
+	}
+	if plan.ConcurrentIterations != 1 {
+		t.Fatalf("fixture has CI=%d; the aliasing path needs 1", plan.ConcurrentIterations)
+	}
+	got, err := DecodeLeanPlan(AppendLeanPlan(nil, plan), g)
+	if err != nil {
+		t.Fatalf("DecodeLeanPlan: %v", err)
+	}
+	if got.Iter.Graph != g {
+		t.Error("single-iteration lean decode did not alias the problem graph")
+	}
+	plansEqual(t, plan, got)
+}
+
+func TestPlanFrameToLean(t *testing.T) {
+	plan, g := leanPlan(t)
+	spliced, err := PlanFrameToLean(AppendPlan(nil, plan))
+	if err != nil {
+		t.Fatalf("PlanFrameToLean: %v", err)
+	}
+	// The splice must be byte-identical to a direct lean encode, so an
+	// owner serving from a store payload and one serving from its
+	// memory tier hand out the same bytes.
+	if !bytes.Equal(spliced, AppendLeanPlan(nil, plan)) {
+		t.Error("spliced lean frame differs from a direct lean encode")
+	}
+	got, err := DecodeFillPlan(spliced, g, dag.Limits{})
+	if err != nil {
+		t.Fatalf("DecodeFillPlan(lean): %v", err)
+	}
+	plansEqual(t, plan, got)
+
+	// DecodeFillPlan must also pass full frames through.
+	got, err = DecodeFillPlan(AppendPlan(nil, plan), nil, dag.Limits{})
+	if err != nil {
+		t.Fatalf("DecodeFillPlan(full): %v", err)
+	}
+	plansEqual(t, plan, got)
+}
+
+func TestLeanPlanRejections(t *testing.T) {
+	plan, g := leanPlan(t)
+
+	other := *plan
+	other.Scheme = "sparta"
+	if _, err := PlanFrameToLean(AppendPlan(nil, plan)[:8]); err == nil {
+		t.Error("PlanFrameToLean accepted a truncated frame")
+	}
+	if _, err := PlanFrameToLean(AppendPlan(nil, &other)); err == nil {
+		t.Error("PlanFrameToLean accepted a non-para-conv scheme")
+	}
+	if _, err := DecodeLeanPlan(AppendLeanPlan(nil, &other), g); err == nil {
+		t.Error("DecodeLeanPlan accepted a non-para-conv scheme")
+	}
+	if _, err := DecodeLeanPlan(AppendLeanPlan(nil, plan), nil); err == nil {
+		t.Error("DecodeLeanPlan accepted a nil problem graph")
+	}
+	if _, err := DecodeLeanPlan(AppendPlan(nil, plan), g); err == nil {
+		t.Error("DecodeLeanPlan accepted a stored-plan frame")
+	}
+}

@@ -65,7 +65,7 @@ scripts/bench.sh --short --compare-only --no-gate
 echo "== benchtab parallel determinism smoke"
 # A parallel benchtab run must be byte-identical to a serial one.
 tmpdir=$(mktemp -d)
-trap 'for p in "${http_pid:-}" "${pd_pid:-}" "${slo_pid:-}" "${wr_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
+trap 'for p in "${http_pid:-}" "${pd_pid:-}" "${slo_pid:-}" "${wr_pid:-}" "${cl1_pid:-}" "${cl2_pid:-}" "${cl3_pid:-}"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/benchtab" ./cmd/benchtab
 "$tmpdir/benchtab" -exp table1 > "$tmpdir/serial.out"
 "$tmpdir/benchtab" -exp table1 -parallel 4 > "$tmpdir/par4.out"
@@ -341,5 +341,116 @@ curl -fsS "http://$wr_addr/debug/slo" \
 kill -TERM "$wr_pid"
 wait "$wr_pid" || { echo "warm-restart daemon (boot 2) did not drain cleanly" >&2; exit 1; }
 wr_pid=""
+
+echo "== 3-node cluster smoke"
+# A sharded fleet must act as one cache: identical plan requests at all
+# three members may cost exactly ONE solve cluster-wide (the owner's),
+# with the other two members peer-filling over the ring.  Then losing a
+# member mid-burst must cost zero client-visible failures — every fill
+# that can't reach its owner degrades to a local solve.
+read -r cp1 cp2 cp3 < <(python3 - <<'PYEOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+PYEOF
+)
+peerlist="127.0.0.1:$cp1,127.0.0.1:$cp2,127.0.0.1:$cp3"
+start_cl_daemon() {
+    # start_cl_daemon <port> <errlog> <pidvar>: boot one member in THIS
+    # shell (so the caller can wait on it) and store its pid in pidvar.
+    local port=$1 errlog=$2 pidvar=$3
+    "$tmpdir/paraconvd" -addr "127.0.0.1:$port" -peers "$peerlist" \
+        2> "$errlog" &
+    local pid=$!
+    printf -v "$pidvar" '%s' "$pid"
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$errlog"; then
+            return
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster member :$port exited early:" >&2
+            cat "$errlog" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "cluster member :$port never reported its address:" >&2
+    cat "$errlog" >&2
+    exit 1
+}
+start_cl_daemon "$cp1" "$tmpdir/cl1.err" cl1_pid
+start_cl_daemon "$cp2" "$tmpdir/cl2.err" cl2_pid
+start_cl_daemon "$cp3" "$tmpdir/cl3.err" cl3_pid
+for port in "$cp1" "$cp2" "$cp3"; do
+    curl -fsS "http://127.0.0.1:$port/readyz" > "$tmpdir/cl_ready.txt"
+    grep -q "^cluster: 3/3 members live$" "$tmpdir/cl_ready.txt" || {
+        echo "member :$port /readyz does not report the full ring:" >&2
+        cat "$tmpdir/cl_ready.txt" >&2
+        exit 1
+    }
+done
+# The same plan request at every member, twice around: one member owns
+# the fingerprint and solves, the others fill from it, repeats are
+# local cache hits everywhere.
+for _ in 1 2; do
+    for port in "$cp1" "$cp2" "$cp3"; do
+        curl -fsS -X POST -H 'Content-Type: application/json' \
+            --data-binary "@$tmpdir/plan_body.json" \
+            "http://127.0.0.1:$port/v1/plan" > /dev/null
+    done
+done
+cl_solves=0
+cl_fills=0
+for i in 1 2 3; do
+    port_var="cp$i"
+    curl -fsS "http://127.0.0.1:${!port_var}/metrics" > "$tmpdir/cl$i.metrics"
+    cl_solves=$((cl_solves + $(sum_solves "$tmpdir/cl$i.metrics")))
+    cl_fills=$((cl_fills + $(awk '/^paraconv_cluster_peer_fills_total/ { s += $2 } END { printf "%d\n", s }' "$tmpdir/cl$i.metrics")))
+done
+if [[ "$cl_solves" -ne 1 ]]; then
+    echo "6 identical requests across 3 members cost $cl_solves solves; the cluster cache should have held it to 1" >&2
+    grep -h "^paraconv_plan_solve_seconds_count\|^paraconv_cluster_" "$tmpdir"/cl?.metrics >&2 || true
+    exit 1
+fi
+if [[ "$cl_fills" -ne 2 ]]; then
+    echo "expected exactly 2 peer fills (one per non-owner); got $cl_fills" >&2
+    grep -h "^paraconv_cluster_" "$tmpdir"/cl?.metrics >&2 || true
+    exit 1
+fi
+# Degradation: hard-kill member 3 one second into a burst against the
+# survivors.  Their breakers open on the corpse and every request still
+# answers 200 — no transport errors, no non-200 statuses.
+"$tmpdir/paraconvload" -addr "127.0.0.1:$cp1" \
+    -cluster "127.0.0.1:$cp1,127.0.0.1:$cp2" \
+    -workers 4 -duration 4s -seed 42 > "$tmpdir/cl_kill.out" &
+cl_load_pid=$!
+sleep 1
+kill -KILL "$cl3_pid" 2>/dev/null || true
+wait "$cl3_pid" 2>/dev/null || true
+cl3_pid=""
+wait "$cl_load_pid" || {
+    echo "cluster burst load generator failed:" >&2
+    cat "$tmpdir/cl_kill.out" >&2
+    exit 1
+}
+if grep -q "transport errors" "$tmpdir/cl_kill.out"; then
+    echo "killing one member surfaced transport errors to clients:" >&2
+    cat "$tmpdir/cl_kill.out" >&2
+    exit 1
+fi
+if grep -E '^  status ' "$tmpdir/cl_kill.out" | grep -qv 'status 200'; then
+    echo "killing one member surfaced non-200 responses:" >&2
+    cat "$tmpdir/cl_kill.out" >&2
+    exit 1
+fi
+kill -TERM "$cl1_pid" "$cl2_pid"
+wait "$cl1_pid" || { echo "cluster member 1 did not drain cleanly" >&2; exit 1; }
+wait "$cl2_pid" || { echo "cluster member 2 did not drain cleanly" >&2; exit 1; }
+cl1_pid=""
+cl2_pid=""
 
 echo "CI gate passed."
